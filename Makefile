@@ -1,0 +1,50 @@
+# geompc — reproduction of Cao et al., IEEE CLUSTER 2023.
+
+GO ?= go
+
+.PHONY: all build test vet bench race fuzz experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runtime/ ./internal/cholesky/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test ./internal/fp16/ -fuzz FuzzFromFloat32 -fuzztime 30s
+
+# Regenerate every paper artifact into results/ (the Fig 12 Summit-scale
+# sweeps simulate ~10^7-task DAGs and take tens of minutes on one core;
+# the Monte-Carlo studies take ~45 minutes).
+experiments:
+	mkdir -p results
+	$(GO) run ./cmd/gemmbench > results/fig1_tables.txt
+	$(GO) run ./cmd/precmap -fig7 -n 409600 -ts 2048 > results/fig7.txt
+	$(GO) run ./cmd/precmap -demo -comm -demo-n 16384 -demo-ts 2048 -app 2D-sqexp > results/fig2_4_maps.txt
+	$(GO) run ./cmd/convbench -machine Summit -gpus 1 > results/fig8a_v100.txt
+	$(GO) run ./cmd/convbench -machine Guyot -gpus 1 > results/fig8b_a100.txt
+	$(GO) run ./cmd/convbench -machine Haxane -gpus 1 -sizes 16384,32768,49152,65536,81920 > results/fig8c_h100.txt
+	$(GO) run ./cmd/convbench -node -machine Summit > results/fig11a_summitnode.txt
+	$(GO) run ./cmd/convbench -node -machine Guyot > results/fig11b_guyotnode.txt
+	$(GO) run ./cmd/power -occupancy -n 81920 > results/fig9_occupancy.txt
+	$(GO) run ./cmd/power -fig10 > results/fig10_energy.txt
+	$(GO) run ./cmd/ablation > results/ablation.txt
+	$(GO) run ./cmd/accuracy -dim 2 -replicas 12 -n 324 -ts 54 -maxevals 400 > results/fig5_accuracy2d.txt
+	$(GO) run ./cmd/accuracy -dim 3 -replicas 12 -n 343 -ts 49 -maxevals 400 -levels 0,1e-8,1e-4,1e-2 > results/fig6_accuracy3d.txt
+	$(GO) run ./cmd/scale -weak -nodes 1,4,16,64 -base-n 98304 > results/fig12a_weak.txt
+	$(GO) run ./cmd/scale -strong -nodes 16,32,48,64 -strong-n 798720 > results/fig12b_strong.txt
+	$(GO) run ./cmd/scale -mp -mp-nodes 64 -sizes 196608,399360,598016,798720 > results/fig12c_mp.txt
+
+clean:
+	$(GO) clean ./...

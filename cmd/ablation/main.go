@@ -1,0 +1,119 @@
+// Command ablation quantifies the design choices DESIGN.md calls out:
+//
+//   - adaptive (Higham–Mary) precision selection vs the band-based
+//     assignment of the prior work (refs [12], [13]), at the same
+//     tile-wise accuracy guarantee;
+//   - the engine's stream-pipeline depth (double buffering);
+//   - the Monte-Carlo arithmetic probe (§V) that justifies each
+//     application's required accuracy u_req.
+//
+// Usage:
+//
+//	ablation -banded
+//	ablation -lookahead
+//	ablation -probe [-probe-n 400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geompc/internal/bench"
+	"geompc/internal/core"
+	"geompc/internal/hw"
+	"geompc/internal/mle"
+)
+
+func main() {
+	banded := flag.Bool("banded", false, "adaptive vs banded precision maps")
+	lookahead := flag.Bool("lookahead", false, "stream pipeline depth sweep")
+	probe := flag.Bool("probe", false, "Monte-Carlo arithmetic u_req probe")
+	tlrFlag := flag.Bool("tlr", false, "tile low-rank + mixed precision storage study (§VIII future work)")
+	n := flag.Int("n", 65536, "matrix size for -banded/-lookahead")
+	probeN := flag.Int("probe-n", 400, "locations for -probe")
+	ts := flag.Int("ts", 2048, "tile size")
+	flag.Parse()
+
+	if !*banded && !*lookahead && !*probe && !*tlrFlag {
+		*banded, *lookahead, *probe, *tlrFlag = true, true, true, true
+	}
+
+	if *banded {
+		for _, app := range bench.Apps() {
+			rows, err := bench.AdaptiveVsBanded(app, *n, *ts, hw.SummitNode, 9)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ablation:", err)
+				os.Exit(1)
+			}
+			t := bench.NewTable(
+				fmt.Sprintf("adaptive vs banded precision: %s @ u_req=%.0e, N=%d, V100", app.Name, app.UReq, *n),
+				"variant", "Tflop/s", "time(s)", "FP64 tiles %")
+			for _, r := range rows {
+				t.Add(r.Variant, r.Tflops, r.Time, 100*r.FP64Share)
+			}
+			t.Write(os.Stdout)
+		}
+	}
+
+	if *lookahead {
+		rows, err := bench.LookaheadAblation(*n, *ts, hw.SummitNode, []int{1, 2, 4, 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablation:", err)
+			os.Exit(1)
+		}
+		t := bench.NewTable(
+			fmt.Sprintf("stream pipeline depth (FP64/FP16, N=%d, V100)", *n),
+			"variant", "Tflop/s", "time(s)")
+		for _, r := range rows {
+			t.Add(r.Variant, r.Tflops, r.Time)
+		}
+		t.Write(os.Stdout)
+	}
+
+	if *tlrFlag {
+		t := bench.NewTable("MP + tile low-rank storage (N=8192, tile 512, ACA tol = each app's u_req)",
+			"app", "mean rank", "max rank", "dense FP64", "MP dense", "MP+TLR", "total saving")
+		for _, app := range bench.Apps() {
+			rep, err := bench.TLRAnalysis(app, 8192, 512, app.UReq, 7)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ablation:", err)
+				os.Exit(1)
+			}
+			t.Add(app.Name, rep.MeanRank, rep.MaxRank,
+				bench.HumanBytes(rep.DenseFP64), bench.HumanBytes(rep.MPDense), bench.HumanBytes(rep.MPTLR),
+				fmt.Sprintf("%.1fx", float64(rep.DenseFP64)/float64(rep.MPTLR)))
+		}
+		t.Write(os.Stdout)
+	}
+
+	if *probe {
+		for _, appName := range []string{"2D-sqexp", "2D-Matern"} {
+			app, _ := bench.AppByName(appName)
+			ds, err := core.GenerateDataset(*probeN, app.Kernel.Dim(), app.Kernel, app.Theta, 5)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ablation:", err)
+				os.Exit(1)
+			}
+			p := &mle.Problem{Locs: ds.Locs, Z: ds.Z, Kernel: ds.Kernel, Nugget: 1e-7, TileSize: 64}
+			rows, err := mle.PrecisionImpact(p, app.Theta, []float64{0, 1e-9, 1e-6, 1e-4, 1e-2}, 8, 3)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ablation:", err)
+				os.Exit(1)
+			}
+			t := bench.NewTable(
+				fmt.Sprintf("Monte-Carlo arithmetic probe: %s, n=%d (−ℓ reference %.4f)",
+					app.Name, *probeN, rows[0].Reference),
+				"u_req", "mean |Δ(-loglik)|", "max", "SPD broken")
+			for _, r := range rows {
+				u := "exact"
+				if r.UReq > 0 {
+					u = fmt.Sprintf("%.0e", r.UReq)
+				}
+				t.Add(u, fmt.Sprintf("%.3g", r.MeanAbsDev), fmt.Sprintf("%.3g", r.MaxAbsDev),
+					fmt.Sprintf("%d/%d", r.Broken, r.Replicas))
+			}
+			t.Write(os.Stdout)
+		}
+	}
+}

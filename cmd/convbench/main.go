@@ -1,0 +1,100 @@
+// Command convbench reproduces the automated precision conversion study:
+// Fig 8 (STC vs TTC on one V100/A100/H100 GPU) and Fig 11 (one full Summit
+// or Guyot node), reporting achieved Tflop/s, efficiency against the
+// configuration's dominant-precision peak, and data motion.
+//
+// Usage:
+//
+//	convbench -gpus 1 -machine Summit     # Fig 8a
+//	convbench -gpus 1 -machine Guyot      # Fig 8b
+//	convbench -gpus 1 -machine Haxane     # Fig 8c
+//	convbench -node -machine Summit       # Fig 11a (6×V100)
+//	convbench -node -machine Guyot        # Fig 11b (8×A100)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"geompc/internal/bench"
+	"geompc/internal/hw"
+)
+
+func main() {
+	machine := flag.String("machine", "Summit", "node type: Summit (V100), Guyot (A100), Haxane (H100)")
+	gpus := flag.Int("gpus", 1, "GPUs to use (ignored with -node)")
+	node := flag.Bool("node", false, "use every GPU of the node (Fig 11)")
+	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (default: per-machine sweep)")
+	ts := flag.Int("ts", 2048, "tile size")
+	flag.Parse()
+
+	nd, err := hw.NodeByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convbench:", err)
+		os.Exit(1)
+	}
+	g := *gpus
+	if *node {
+		g = nd.GPUs
+	}
+
+	var sizes []int
+	if *sizesFlag == "" {
+		base := []int{16384, 32768, 49152, 65536, 81920, 98304, 122880}
+		if g > 1 {
+			base = append(base, 163840, 196608)
+		}
+		sizes = base
+	} else {
+		for _, p := range strings.Split(*sizesFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "convbench: bad size %q\n", p)
+				os.Exit(1)
+			}
+			sizes = append(sizes, v)
+		}
+	}
+
+	rows, err := bench.ConvSweep(nd, 1, g, sizes, *ts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convbench:", err)
+		os.Exit(1)
+	}
+	fig := "Fig 8"
+	if g > 1 {
+		fig = "Fig 11"
+	}
+	t := bench.NewTable(
+		fmt.Sprintf("%s: STC vs TTC on %d×%s (%s)", fig, g, nd.GPU.Name, nd.Name),
+		"Config", "Strategy", "N", "Tflop/s", "%peak", "Time(s)", "H2D")
+	for _, r := range rows {
+		t.Add(r.Config, r.Strategy, r.N, r.Tflops, r.PctPeak, r.Time, bench.HumanBytes(r.BytesH2D))
+	}
+	t.Write(os.Stdout)
+
+	// Summarize STC/TTC speedups per config at the largest size.
+	last := sizes[len(sizes)-1]
+	speed := map[string]map[string]float64{}
+	for _, r := range rows {
+		if r.N != last {
+			continue
+		}
+		if speed[r.Config] == nil {
+			speed[r.Config] = map[string]float64{}
+		}
+		speed[r.Config][r.Strategy] = r.Tflops
+	}
+	st := bench.NewTable(fmt.Sprintf("STC/TTC speedup at N=%d", last), "Config", "Speedup")
+	for _, cfg := range bench.ConvConfigs() {
+		m := speed[cfg.Name]
+		if m == nil || m["TTC"] == 0 {
+			continue
+		}
+		st.Add(cfg.Name, m["STC"]/m["TTC"])
+	}
+	st.Write(os.Stdout)
+}

@@ -1,0 +1,104 @@
+// Command gemmbench regenerates the paper's GEMM-level results: Table I
+// (peak performance per precision per GPU), Fig 1 (GEMM accuracy and
+// performance across precisions on V100/A100/H100), and Table II (time to
+// move a tile to a V100 and execute a GEMM on it, per precision).
+//
+// Usage:
+//
+//	gemmbench -table1
+//	gemmbench -fig1 [-acc-sizes 64,128,256] [-perf-sizes 2048,8192,32768]
+//	gemmbench -table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"geompc/internal/bench"
+	"geompc/internal/hw"
+)
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	table1 := flag.Bool("table1", false, "print Table I (GPU peak performance)")
+	table2 := flag.Bool("table2", false, "print Table II (tile move + GEMM times on V100)")
+	fig1 := flag.Bool("fig1", false, "run Fig 1 (GEMM accuracy and performance)")
+	accSizes := flag.String("acc-sizes", "64,128,256,512", "GEMM sizes for the accuracy study (real computation)")
+	perfSizes := flag.String("perf-sizes", "2048,4096,8192,16384,32768", "GEMM sizes for the performance model")
+	seed := flag.Uint64("seed", 42, "RNG seed")
+	flag.Parse()
+
+	if !*table1 && !*table2 && !*fig1 {
+		*table1, *table2, *fig1 = true, true, true
+	}
+
+	if *table1 {
+		bench.Table1().Write(os.Stdout)
+	}
+
+	if *fig1 {
+		sizes, err := parseSizes(*accSizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gemmbench:", err)
+			os.Exit(1)
+		}
+		acc := bench.GemmAccuracy(sizes, *seed)
+		t := bench.NewTable("Fig 1 (accuracy): relative Frobenius error vs FP64", "N", "Precision", "RelErr")
+		for _, r := range acc {
+			t.Add(r.N, r.Prec.String(), fmt.Sprintf("%.3e", r.Err))
+		}
+		t.Write(os.Stdout)
+
+		psizes, err := parseSizes(*perfSizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gemmbench:", err)
+			os.Exit(1)
+		}
+		perf := bench.GemmPerformance([]*hw.GPUSpec{hw.V100, hw.A100, hw.H100}, psizes)
+		tp := bench.NewTable("Fig 1 (performance): modeled GEMM throughput (conversion included)",
+			"GPU", "N", "Precision", "Tflop/s", "%peak")
+		for _, r := range perf {
+			tp.Add(r.GPU, r.N, r.Prec.String(), r.Tflops, r.PeakPct)
+		}
+		tp.Write(os.Stdout)
+	}
+
+	if *table2 {
+		sizes := []int{2048, 4096, 6144, 8192, 10240}
+		rows := bench.Table2(sizes)
+		t := bench.NewTable("Table II: time measurement on V100 (milliseconds)",
+			append([]string{"Matrix Size"}, sizesToStrings(sizes)...)...)
+		for _, r := range rows {
+			cells := make([]any, 0, len(sizes)+1)
+			cells = append(cells, r.Label)
+			for _, v := range r.TimeMs {
+				cells = append(cells, fmt.Sprintf("%.2f", v))
+			}
+			t.Add(cells...)
+		}
+		t.Write(os.Stdout)
+	}
+}
+
+func sizesToStrings(sizes []int) []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		out[i] = strconv.Itoa(s)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+// Command power reproduces the energy results: Fig 9 (GPU occupancy over
+// time on the H100 for four precision configurations) and Fig 10 (power
+// consumption over time, total joules, and Gflops/W for FP64 vs the
+// adaptive mixed-precision approach on V100, A100 and H100).
+//
+// Usage:
+//
+//	power -occupancy                  # Fig 9 (H100)
+//	power -fig10                      # Fig 10, all three GPUs
+//	power -fig10 -machine Summit      # Fig 10, V100 panel only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"geompc/internal/bench"
+	"geompc/internal/hw"
+)
+
+func main() {
+	occupancy := flag.Bool("occupancy", false, "print Fig 9 occupancy traces (H100)")
+	fig10 := flag.Bool("fig10", false, "print Fig 10 power/energy comparison")
+	machine := flag.String("machine", "", "restrict Fig 10 to one node type (Summit/Guyot/Haxane)")
+	n := flag.Int("n", 0, "matrix size override (default: paper sizing per GPU)")
+	ts := flag.Int("ts", 2048, "tile size")
+	bins := flag.Int("bins", 40, "trace windows")
+	trace := flag.Bool("trace", false, "print the full power trace, not just totals")
+	flag.Parse()
+
+	if !*occupancy && !*fig10 {
+		*occupancy, *fig10 = true, true
+	}
+
+	if *occupancy {
+		// Fig 9: H100, largest Fig 8c size.
+		size := *n
+		if size == 0 {
+			size = 81920
+		}
+		fmt.Printf("## Fig 9: GPU occupancy of one H100 (N=%d)\n", size)
+		for _, cfg := range bench.OccupancyConfigs() {
+			run, err := bench.EnergyRunOne(hw.HaxaneNode, cfg, size, *ts, *bins, 1)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "power:", err)
+				os.Exit(1)
+			}
+			var avg float64
+			for _, o := range run.Occupancy {
+				avg += o.V
+			}
+			avg /= float64(len(run.Occupancy))
+			fmt.Printf("%-14s time %7.2fs  mean occupancy %5.1f%%  trace:", cfg.Label, run.Time, 100*avg)
+			for _, o := range run.Occupancy {
+				fmt.Printf(" %2.0f", 100*o.V)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	if *fig10 {
+		nodes := []*hw.NodeSpec{hw.SummitNode, hw.GuyotNode, hw.HaxaneNode}
+		if *machine != "" {
+			nd, err := hw.NodeByName(*machine)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "power:", err)
+				os.Exit(1)
+			}
+			nodes = []*hw.NodeSpec{nd}
+		}
+		for _, nd := range nodes {
+			// Paper sizing: V100 uses the largest FP64 matrix fitting its
+			// memory (61,440); A100/H100 use 122,880 (Haxane host limit).
+			size := *n
+			if size == 0 {
+				if nd.GPU == hw.V100 {
+					size = 61440
+				} else {
+					size = 122880
+				}
+			}
+			t := bench.NewTable(
+				fmt.Sprintf("Fig 10: power/energy on one %s (N=%d)", nd.GPU.Name, size),
+				"Config", "Time(s)", "Energy(kJ)", "AvgPower(W)", "Gflops/W")
+			for _, cfg := range bench.EnergySweepConfigs() {
+				run, err := bench.EnergyRunOne(nd, cfg, size, *ts, *bins, 1)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "power:", err)
+					os.Exit(1)
+				}
+				t.Add(run.Label, run.Time, run.EnergyJ/1e3, run.AvgPower, run.GflopsPerW)
+				if *trace {
+					var sb strings.Builder
+					for _, p := range run.Power {
+						fmt.Fprintf(&sb, " %4.0f", p.V)
+					}
+					fmt.Printf("trace %-14s (W):%s\n", run.Label, sb.String())
+				}
+			}
+			t.Write(os.Stdout)
+			fmt.Printf("max TDP on %s: %.0f W\n\n", nd.GPU.Name, nd.GPU.TDP)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command precmap visualizes the precision machinery of §V and §VI:
+//
+//	precmap -demo          small kernel/storage map example (Fig 2)
+//	precmap -comm          the Algorithm 2 communication map (Fig 4)
+//	precmap -fig7          tile-precision fractions for the three
+//	                       applications at scale (Fig 7)
+//
+// The Fig 7 defaults are scaled down from the paper's 409,600² matrix; use
+// -n 409600 -ts 2048 to regenerate it at full scale (needs a few minutes
+// for the sampled norm estimation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geompc/internal/bench"
+	"geompc/internal/prec"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "print a small kernel/storage precision map (Fig 2)")
+	comm := flag.Bool("comm", false, "print the Algorithm 2 communication map (Fig 4)")
+	fig7 := flag.Bool("fig7", false, "print the per-application precision fractions (Fig 7)")
+	n := flag.Int("n", 65536, "matrix size for -fig7 (paper: 409600)")
+	ts := flag.Int("ts", 2048, "tile size (paper: 2048)")
+	demoN := flag.Int("demo-n", 8192, "matrix size for -demo/-comm")
+	demoTS := flag.Int("demo-ts", 1024, "tile size for -demo/-comm")
+	samples := flag.Int("samples", 128, "tile-norm samples per tile")
+	app := flag.String("app", "2D-Matern", "application for -demo/-comm")
+	seed := flag.Uint64("seed", 3, "RNG seed")
+	flag.Parse()
+
+	if !*demo && !*comm && !*fig7 {
+		*demo, *comm, *fig7 = true, true, true
+	}
+
+	if *demo || *comm {
+		a, ok := bench.AppByName(*app)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "precmap: unknown app %q\n", *app)
+			os.Exit(1)
+		}
+		res, err := bench.PrecisionMap(a, *demoN, *demoTS, *samples, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precmap:", err)
+			os.Exit(1)
+		}
+		if *demo {
+			fmt.Printf("## Fig 2a: kernel-precision map (%s, N=%d, NT=%d)\n", a.Name, *demoN, res.NT)
+			fmt.Println("D=FP64  S=FP32  h=FP16_32  H=FP16")
+			fmt.Println(bench.RenderKernelMap(res.Maps))
+			fmt.Printf("## Fig 2b: storage-precision map\n")
+			fmt.Println(bench.RenderStorageMap(res.Maps))
+		}
+		if *comm {
+			fmt.Printf("## Fig 4b: communication-precision map (Algorithm 2); '*' marks STC\n")
+			fmt.Println(bench.RenderCommMap(res.Maps))
+			fmt.Printf("STC share of communication-issuing tasks: %.1f%%\n\n", 100*res.STCShare)
+		}
+	}
+
+	if *fig7 {
+		t := bench.NewTable(
+			fmt.Sprintf("Fig 7: kernel precision per tile (N=%d, tile %d)", *n, *ts),
+			"App", "u_req", "FP64%", "FP32%", "FP16_32%", "FP16%", "STC%")
+		for _, a := range bench.Apps() {
+			res, err := bench.PrecisionMap(a, *n, *ts, *samples, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "precmap:", err)
+				os.Exit(1)
+			}
+			f := res.Fractions
+			t.Add(a.Name, fmt.Sprintf("%.0e", a.UReq),
+				100*f[prec.FP64], 100*f[prec.FP32], 100*f[prec.FP16x32], 100*f[prec.FP16],
+				100*res.STCShare)
+		}
+		t.Write(os.Stdout)
+	}
+}

@@ -1,0 +1,105 @@
+// Command scale reproduces Fig 12's Summit evaluation: weak scalability
+// (12a), strong scalability at fixed matrix size (12b), and the
+// mixed-precision effect on 64 nodes / 384 GPUs (12c).
+//
+// Usage:
+//
+//	scale -weak                       # Fig 12a, 1..64 nodes
+//	scale -strong                     # Fig 12b, N=798720
+//	scale -mp                         # Fig 12c, 64 nodes
+//	scale -mp -nodes 8 -sizes 98304,196608   # scaled down
+//
+// The full 64-node runs simulate ~10⁷ tasks; expect minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"geompc/internal/bench"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	weak := flag.Bool("weak", false, "run weak scaling (Fig 12a)")
+	strong := flag.Bool("strong", false, "run strong scaling (Fig 12b)")
+	mp := flag.Bool("mp", false, "run the MP effect at scale (Fig 12c)")
+	nodesFlag := flag.String("nodes", "1,4,16,64", "node counts for -weak/-strong")
+	mpNodes := flag.Int("mp-nodes", 64, "node count for -mp (paper: 64 = 384 GPUs)")
+	baseN := flag.Int("base-n", 98304, "weak-scaling matrix size on the first node count")
+	strongN := flag.Int("strong-n", 798720, "strong-scaling matrix size (paper: 798720)")
+	sizesFlag := flag.String("sizes", "196608,399360,598016,798720", "matrix sizes for -mp")
+	ts := flag.Int("ts", 2048, "tile size")
+	flag.Parse()
+
+	if !*weak && !*strong && !*mp {
+		*weak, *strong, *mp = true, true, true
+	}
+
+	nodes, err := parseInts(*nodesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scale:", err)
+		os.Exit(1)
+	}
+
+	if *weak {
+		rows, err := bench.WeakScaling(nodes, *baseN, *ts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scale:", err)
+			os.Exit(1)
+		}
+		t := bench.NewTable("Fig 12a: weak scalability on Summit (FP64)",
+			"Nodes", "GPUs", "N", "Tflop/s", "%peak", "Time(s)")
+		for _, r := range rows {
+			t.Add(r.Nodes, r.GPUs, r.N, r.Tflops, r.PctPeak, r.Time)
+		}
+		t.Write(os.Stdout)
+	}
+
+	if *strong {
+		rows, err := bench.StrongScaling(nodes, *strongN, *ts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scale:", err)
+			os.Exit(1)
+		}
+		t := bench.NewTable(fmt.Sprintf("Fig 12b: strong scalability on Summit (FP64, N=%d)", *strongN),
+			"Nodes", "GPUs", "Tflop/s", "%peak", "Time(s)")
+		for _, r := range rows {
+			t.Add(r.Nodes, r.GPUs, r.Tflops, r.PctPeak, r.Time)
+		}
+		t.Write(os.Stdout)
+	}
+
+	if *mp {
+		sizes, err := parseInts(*sizesFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scale:", err)
+			os.Exit(1)
+		}
+		rows, err := bench.MPEffect(*mpNodes, sizes, *ts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scale:", err)
+			os.Exit(1)
+		}
+		t := bench.NewTable(fmt.Sprintf("Fig 12c: MP effect on %d nodes (%d GPUs)", *mpNodes, *mpNodes*6),
+			"Config", "N", "Tflop/s", "Speedup vs FP64", "Time(s)")
+		for _, r := range rows {
+			t.Add(r.Config, r.N, r.Tflops, r.Speedup, r.Time)
+		}
+		t.Write(os.Stdout)
+	}
+}

@@ -1,0 +1,77 @@
+// Command trace prints the simulated execution timeline of a small mixed-
+// precision Cholesky — the Fig 3 demonstration: which task class runs
+// where and when, and how the asynchronous runtime overlaps iterations.
+//
+// Usage:
+//
+//	trace -nt 4 -gpus 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"geompc/internal/cholesky"
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/tile"
+)
+
+func main() {
+	nt := flag.Int("nt", 4, "tiles per dimension")
+	ts := flag.Int("ts", 2048, "tile size")
+	gpus := flag.Int("gpus", 2, "GPUs on one Summit node")
+	iters := flag.Int("iters", 2, "print tasks of the first k iterations (0 = all)")
+	flag.Parse()
+
+	d, err := tile.NewDesc(*nt**ts, *ts, 1, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	maps := precmap.New(precmap.Uniform(*nt, prec.FP16x32), 1e-4)
+	plat, err := runtime.NewPlatform(hw.SummitNode, 1, *gpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	res, err := cholesky.Run(cholesky.Config{Desc: d, Maps: maps, Platform: plat, Trace: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	sched := res.Schedule(*nt)
+	fmt.Printf("simulated schedule, NT=%d, %d V100s (FP64 diagonal / FP16_32 off-diagonal):\n\n", *nt, *gpus)
+	makespan := res.Stats.Makespan
+	for _, t := range sched {
+		if *iters > 0 && !inFirstIters(t.Name, *iters) {
+			continue
+		}
+		barLen := 48
+		s := int(t.Start / makespan * float64(barLen))
+		e := int(t.End / makespan * float64(barLen))
+		if e <= s {
+			e = s + 1
+		}
+		bar := strings.Repeat(" ", s) + strings.Repeat("#", e-s) + strings.Repeat(" ", barLen-e)
+		fmt.Printf("dev%-2d |%s| %8.3f→%-8.3f ms  %s\n", t.Device, bar, t.Start*1e3, t.End*1e3, t.Name)
+	}
+	fmt.Printf("\nmakespan %.3f ms, %d tasks, %.1f Tflop/s\n",
+		makespan*1e3, res.Stats.Tasks, res.Stats.Flops/1e12)
+}
+
+// inFirstIters reports whether the task belongs to iteration < k of
+// Algorithm 1 (its trailing coordinate).
+func inFirstIters(name string, k int) bool {
+	i := strings.LastIndexAny(name, ",(")
+	if i < 0 {
+		return true
+	}
+	var kk int
+	fmt.Sscanf(name[i+1:], "%d", &kk)
+	return kk < k
+}

@@ -1,0 +1,122 @@
+// climate2d models a temperature-like 2D field — the climate/weather
+// workload that motivates the paper's introduction.
+//
+// It simulates a smooth, strongly correlated Matérn field over a region,
+// keeps 20% of the stations as a held-out validation set, fits the model on
+// the rest with the adaptive mixed-precision Cholesky, and then kriges
+// (predicts) the held-out stations. The punchline is the paper's central
+// claim: mixed-precision estimation at the validated accuracy gives
+// predictions statistically indistinguishable from exact FP64, at a
+// fraction of the simulated machine time and energy.
+//
+//	go run ./examples/climate2d
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"geompc/internal/core"
+	"geompc/internal/geo"
+)
+
+func main() {
+	// A smooth (ν = 1), strongly correlated (β = 0.3) field: typical of
+	// temperature anomalies over a continental region.
+	truth := []float64{1.0, 0.3, 1.0}
+	full, err := core.GenerateDataset(600, 2, core.Matern2D(), truth, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hold out every fifth station for validation.
+	var trainLocs, testLocs []geo.Point
+	var trainZ, testZ []float64
+	for i := range full.Locs {
+		if i%5 == 0 {
+			testLocs = append(testLocs, full.Locs[i])
+			testZ = append(testZ, full.Z[i])
+		} else {
+			trainLocs = append(trainLocs, full.Locs[i])
+			trainZ = append(trainZ, full.Z[i])
+		}
+	}
+	train := &core.Dataset{Locs: trainLocs, Z: trainZ, Kernel: full.Kernel}
+	fmt.Printf("climate2d: %d training stations, %d held out\n\n", len(trainZ), len(testZ))
+
+	type outcome struct {
+		name   string
+		rep    *core.FitReport
+		rmse   float64
+		fitErr float64
+	}
+	var outcomes []outcome
+	for _, cfg := range []struct {
+		name string
+		ureq float64
+	}{
+		{"exact FP64", 0},
+		{"MP u_req=1e-9", 1e-9},
+		{"MP u_req=1e-4", 1e-4},
+	} {
+		rep, err := core.Fit(train, core.Options{UReq: cfg.ureq, Machine: core.OneV100()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := core.Predict(train, rep.Theta, testLocs, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ss, fe float64
+		for i := range pred {
+			d := pred[i] - testZ[i]
+			ss += d * d
+		}
+		for i := range rep.Theta {
+			d := (rep.Theta[i] - truth[i]) / truth[i]
+			fe += d * d
+		}
+		outcomes = append(outcomes, outcome{
+			name: cfg.name, rep: rep,
+			rmse:   math.Sqrt(ss / float64(len(pred))),
+			fitErr: math.Sqrt(fe / float64(len(rep.Theta))),
+		})
+	}
+
+	fmt.Println("configuration   σ²      β       ν       rel.θ err  pred RMSE")
+	for _, o := range outcomes {
+		fmt.Printf("%-14s  %.4f  %.4f  %.4f  %9.2e  %9.4f\n",
+			o.name, o.rep.Theta[0], o.rep.Theta[1], o.rep.Theta[2],
+			o.fitErr, o.rmse)
+	}
+	base := outcomes[0]
+	fmt.Printf("\nvs exact FP64: u_req=1e-9 changes prediction RMSE by %+.2e\n",
+		outcomes[1].rmse-base.rmse)
+
+	// Cost at production scale: one factorization of this model's
+	// covariance for a 98k-station network on a Summit node (6 V100s).
+	// The smooth, strongly-correlated field keeps every tile FP64 at
+	// u_req=1e-9; the accuracy table above shows 1e-4 leaves prediction
+	// RMSE untouched, and that is where the savings appear — the
+	// adaptive framework spends exactly the precision the application
+	// needs.
+	const bigN = 98304
+	exProj, err := core.ProjectFactorization(bigN, train.Kernel, outcomes[0].rep.Theta,
+		core.Options{TileSize: 2048, Machine: core.Summit(1)}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprojected %d-station covariance factorization on one Summit node:\n", bigN)
+	fmt.Printf("  FP64:      %6.2f s, %7.1f kJ\n", exProj.Time, exProj.Energy/1e3)
+	for _, u := range []float64{1e-9, 1e-4} {
+		proj, err := core.ProjectFactorization(bigN, train.Kernel, outcomes[1].rep.Theta,
+			core.Options{UReq: u, TileSize: 2048, Machine: core.Summit(1)}, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  MP @ %.0e: %5.2f s, %7.1f kJ (speedup %.2fx, energy saving %.1f%%)\n",
+			u, proj.Time, proj.Energy/1e3,
+			exProj.Time/proj.Time, 100*(1-proj.Energy/exProj.Energy))
+	}
+}

@@ -1,0 +1,67 @@
+// energysweep projects one geospatial model's factorization across the
+// three GPU generations the paper evaluates — V100, A100, H100 — comparing
+// exact FP64 against the adaptive mixed-precision approach with automated
+// conversion on each (the Fig 10 story as a library call).
+//
+// It shows the paper's key energy finding: MP savings are largest on the
+// V100 (whose FP64 pipeline is slow) and smaller on A100/H100 (whose FP64
+// runs on tensor cores at the FP32 rate), while Gflops/W improves on every
+// generation.
+//
+//	go run ./examples/energysweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geompc/internal/core"
+)
+
+func main() {
+	const n = 65536
+	kernel := core.SqExp2D()
+	theta := []float64{1.0, 0.1}
+
+	machines := []struct {
+		name string
+		m    core.Machine
+	}{
+		{"V100 (Summit)", core.OneV100()},
+		{"A100 (Guyot)", core.OneA100()},
+		{"H100 (Haxane)", core.OneH100()},
+	}
+
+	fmt.Printf("projected %d×%d covariance factorization (2D-sqexp, u_req=1e-4)\n\n", n, n)
+	fmt.Println("GPU             config   time(s)   Tflop/s   energy(kJ)  Gflops/W  STC tasks")
+	for _, mc := range machines {
+		var fp64 *core.Projection
+		for _, cfg := range []struct {
+			label string
+			ureq  float64
+		}{
+			{"FP64", 0},
+			{"MP", 1e-4},
+		} {
+			proj, err := core.ProjectFactorization(n, kernel, theta,
+				core.Options{UReq: cfg.ureq, Machine: mc.m, TileSize: 2048}, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if cfg.label == "FP64" {
+				fp64 = proj
+			}
+			fmt.Printf("%-15s %-8s %8.3f  %8.1f  %10.2f  %8.2f  %6d/%d\n",
+				mc.name, cfg.label, proj.Time, proj.Gflops/1e3, proj.Energy/1e3,
+				proj.GflopsPerW, proj.STCTasks, proj.CommTasks)
+			if cfg.label == "MP" {
+				fmt.Printf("%-15s %-8s speedup %.2fx, energy saving %.1f%%\n",
+					"", "", fp64.Time/proj.Time, 100*(1-proj.Energy/fp64.Energy))
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("note the V100's larger MP saving: its FP64 pipeline is 16x slower than")
+	fmt.Println("its half-precision tensor cores, while A100/H100 FP64 already runs on")
+	fmt.Println("tensor cores at the FP32 rate (§VII-E)")
+}

@@ -1,0 +1,94 @@
+// soil3d exercises the paper's hardest case: a 3D squared-exponential field
+// (soil or atmospheric-column measurements), where spatial locality in the
+// matrix ordering is weakest and the adaptive precision map keeps most
+// tiles in high precision (Fig 7c: >60% FP64/FP32).
+//
+// The example fits the field at the paper's 3D accuracy (u_req = 1e-8),
+// prints the tile-precision census of the covariance it factorizes, and
+// contrasts the modest savings here with the 2D case — reproducing the
+// paper's observation that the approach adapts its aggressiveness to the
+// application.
+//
+//	go run ./examples/soil3d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geompc/internal/bench"
+	"geompc/internal/core"
+	"geompc/internal/prec"
+)
+
+func main() {
+	truth := []float64{1.0, 0.1}
+	ds, err := core.GenerateDataset(512, 3, core.SqExp3D(), truth, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("soil3d: %d observations of a 3D squared-exponential field\n\n", len(ds.Z))
+
+	mp, err := core.Fit(ds, core.Options{UReq: 1e-8, Machine: core.OneV100()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := core.Fit(ds, core.Options{Machine: core.OneV100()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("            MP @ 1e-8   exact FP64   truth")
+	for i, name := range mp.ParamNames {
+		fmt.Printf("  %-8s  %9.4f  %11.4f  %6.2f\n", name, mp.Theta[i], exact.Theta[i], truth[i])
+	}
+	fmt.Printf("\nestimates agree to %.1e; mixed precision preserved the fit.\n\n",
+		maxDiff(mp.Theta, exact.Theta))
+
+	// Tile-precision census at production scale for both a 3D and a 2D
+	// field — why the 3D case saves less (Fig 7's contrast).
+	for _, app := range []string{"3D-sqexp", "2D-sqexp"} {
+		a, _ := bench.AppByName(app)
+		res, err := bench.PrecisionMap(a, 131072, 2048, 128, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := res.Fractions
+		fmt.Printf("%-9s @ u_req=%.0e: FP64 %5.1f%%  FP32 %5.1f%%  FP16_32 %5.1f%%  FP16 %5.1f%%\n",
+			a.Name, a.UReq,
+			100*f[prec.FP64], 100*f[prec.FP32], 100*f[prec.FP16x32], 100*f[prec.FP16])
+	}
+	// Projected production-scale cost for both dimensionalities.
+	fmt.Println()
+	for _, name := range []string{"3D-sqexp", "2D-sqexp"} {
+		a, _ := bench.AppByName(name)
+		mpP, err := core.ProjectFactorization(131072, a.Kernel, a.Theta,
+			core.Options{UReq: a.UReq, TileSize: 2048, Machine: core.OneA100()}, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exP, err := core.ProjectFactorization(131072, a.Kernel, a.Theta,
+			core.Options{TileSize: 2048, Machine: core.OneA100()}, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s on one A100, N=131072: MP %.2fs vs FP64 %.2fs (%.2fx), energy saving %.1f%%\n",
+			name, mpP.Time, exP.Time, exP.Time/mpP.Time, 100*(1-mpP.Energy/exP.Energy))
+	}
+
+	fmt.Println("\nthe 3D field's weaker index locality keeps tiles in high precision,")
+	fmt.Println("so the adaptive framework automatically spends precision where needed")
+}
+
+func maxDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,3 @@
+module geompc
+
+go 1.22

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+
+	"geompc/internal/cholesky"
+	"geompc/internal/geo"
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/stats"
+	"geompc/internal/tile"
+)
+
+// AblationRow compares design choices on one factorization.
+type AblationRow struct {
+	Variant  string
+	Tflops   float64
+	Time     float64
+	BytesH2D int64
+	// FP64Share is the fraction of tiles kept in FP64 (precision-spend).
+	FP64Share float64
+}
+
+// AdaptiveVsBanded quantifies what the norm-adaptive precision map buys
+// over the band-based assignment of the prior work ([12], [13]): both are
+// evaluated at the same accuracy guarantee (the banded map's bands are the
+// narrowest that dominate the adaptive map tile-wise), so any performance
+// difference is pure precision-spend efficiency.
+func AdaptiveVsBanded(app App, n, ts int, node *hw.NodeSpec, seed uint64) ([]AblationRow, error) {
+	desc, err := tile.NewDesc(n, ts, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed, 0)
+	locs := geo.GenerateLocations(n, app.Kernel.Dim(), rng)
+	normFn, global := precmap.EstimateTileNorms(locs, desc, app.Kernel, app.Theta, app.Nugget, 128, rng)
+	adaptive := precmap.NewKernelMap(desc.NT, normFn, global, app.UReq, prec.CholeskySet)
+
+	b64, b32 := precmap.MatchBandsToMap(adaptive)
+	banded, err := precmap.BandedKernelMap(desc.NT, b64, b32, prec.FP16)
+	if err != nil {
+		return nil, err
+	}
+
+	plat, err := runtime.NewPlatform(node, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	run := func(name string, km [][]prec.Precision) (AblationRow, error) {
+		maps := precmap.New(km, app.UReq)
+		res, err := cholesky.Run(cholesky.Config{Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto})
+		if err != nil {
+			return AblationRow{}, fmt.Errorf("bench: ablation %s: %w", name, err)
+		}
+		counts := maps.Counts()
+		total := desc.NT * (desc.NT + 1) / 2
+		return AblationRow{
+			Variant:   name,
+			Tflops:    res.Stats.Flops / 1e12,
+			Time:      res.Stats.Makespan,
+			BytesH2D:  res.Stats.BytesH2D,
+			FP64Share: float64(counts[prec.FP64]) / float64(total),
+		}, nil
+	}
+	var rows []AblationRow
+	a, err := run("adaptive (Higham-Mary)", adaptive)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, a)
+	b, err := run(fmt.Sprintf("banded (b64=%d,b32=%d)", b64, b32), banded)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, b)
+	return rows, nil
+}
+
+// LookaheadAblation measures how the engine's stream pipeline depth affects
+// the makespan of a transfer-bound factorization — the double-buffering
+// design choice called out in DESIGN.md.
+func LookaheadAblation(n, ts int, node *hw.NodeSpec, depths []int) ([]AblationRow, error) {
+	desc, err := tile.NewDesc(n, ts, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	maps := precmap.New(precmap.Uniform(desc.NT, prec.FP16), 1e-2)
+	plat, err := runtime.NewPlatform(node, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, d := range depths {
+		res, err := cholesky.Run(cholesky.Config{
+			Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto, Lookahead: d,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Variant:  fmt.Sprintf("lookahead=%d", d),
+			Tflops:   res.Stats.Flops / 1e12,
+			Time:     res.Stats.Makespan,
+			BytesH2D: res.Stats.BytesH2D,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,60 @@
+// Package bench implements the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (§IV, §VII). The cmd/ binaries
+// and the repository's testing.B benchmarks are thin wrappers over this
+// package, so each experiment has exactly one implementation.
+package bench
+
+import (
+	"geompc/internal/geo"
+)
+
+// App is one of the paper's three application configurations: a covariance
+// family with representative parameters and the application-required
+// accuracy the paper validates for it (§VII-B/C).
+type App struct {
+	Name   string
+	Kernel geo.Kernel
+	Theta  []float64
+	// UReq is the accuracy threshold the paper uses for the app in its
+	// performance studies: 1e-4 (2D-sqexp), 1e-9 (2D-Matérn), 1e-8
+	// (3D-sqexp).
+	UReq   float64
+	Nugget float64
+}
+
+// Apps lists the paper's three applications in its canonical order.
+func Apps() []App {
+	return []App{
+		{
+			Name:   "2D-sqexp",
+			Kernel: geo.SqExp{Dimension: 2},
+			Theta:  []float64{1, 0.1},
+			UReq:   1e-4,
+			Nugget: 1e-7,
+		},
+		{
+			Name:   "2D-Matern",
+			Kernel: geo.Matern{Dimension: 2},
+			Theta:  []float64{1, 0.1, 0.5},
+			UReq:   1e-9,
+			Nugget: 1e-7,
+		},
+		{
+			Name:   "3D-sqexp",
+			Kernel: geo.SqExp{Dimension: 3},
+			Theta:  []float64{1, 0.1},
+			UReq:   1e-8,
+			Nugget: 1e-7,
+		},
+	}
+}
+
+// AppByName returns the application with the given name, or false.
+func AppByName(name string) (App, bool) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"geompc/internal/runtime"
+)
+
+func TestBinPowerConservesEnergy(t *testing.T) {
+	// Integrating the binned power over the makespan must reproduce the
+	// intervals' energy plus the idle floor.
+	busy := []runtime.Interval{
+		{Start: 0, End: 1, Power: 100},
+		{Start: 2, End: 4, Power: 50},
+	}
+	xfer := []runtime.Interval{{Start: 0.5, End: 1.5, Power: 20}}
+	const idle, makespan = 40.0, 5.0
+	for _, bins := range []int{5, 50, 333} {
+		pts := binPower(busy, xfer, idle, makespan, bins)
+		if len(pts) != bins {
+			t.Fatalf("got %d bins", len(pts))
+		}
+		dt := makespan / float64(bins)
+		var energy float64
+		for _, p := range pts {
+			energy += p.V * dt
+		}
+		want := idle*makespan + 100*1 + 50*2 + 20*1
+		if math.Abs(energy-want) > 1e-9*want {
+			t.Errorf("bins=%d: integrated %g J, want %g", bins, energy, want)
+		}
+	}
+}
+
+func TestBinPowerEmptyInputs(t *testing.T) {
+	if pts := binPower(nil, nil, 50, 0, 10); pts != nil {
+		t.Error("zero makespan should yield nil")
+	}
+	if pts := binPower(nil, nil, 50, 1, 0); pts != nil {
+		t.Error("zero bins should yield nil")
+	}
+	pts := binPower(nil, nil, 50, 2, 4)
+	for _, p := range pts {
+		if p.V != 50 {
+			t.Errorf("idle-only trace shows %g W, want 50", p.V)
+		}
+	}
+}
+
+func TestBinOccupancyConservesBusyTime(t *testing.T) {
+	busy := []runtime.Interval{
+		{Start: 0.25, End: 1.25},
+		{Start: 3, End: 3.5},
+	}
+	const makespan = 4.0
+	pts := binOccupancy(busy, makespan, 16)
+	dt := makespan / 16
+	var total float64
+	for _, p := range pts {
+		if p.V < 0 || p.V > 1 {
+			t.Fatalf("occupancy %g outside [0,1]", p.V)
+		}
+		total += p.V * dt
+	}
+	if math.Abs(total-1.5) > 1e-9 {
+		t.Errorf("integrated busy time %g, want 1.5", total)
+	}
+}
+
+func TestBinOccupancyIntervalPastMakespan(t *testing.T) {
+	// Intervals extending past the trace window must be clipped, not panic.
+	busy := []runtime.Interval{{Start: 0.5, End: 99}}
+	pts := binOccupancy(busy, 1.0, 4)
+	if len(pts) != 4 {
+		t.Fatal("bin count")
+	}
+	if pts[3].V != 1 {
+		t.Errorf("last bin %g, want fully busy", pts[3].V)
+	}
+	if pts[0].V != 0 {
+		t.Errorf("first bin %g, want idle", pts[0].V)
+	}
+}

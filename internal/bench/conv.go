@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"geompc/internal/cholesky"
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/tile"
+)
+
+// ConvConfig is one line of Fig 8/11: a fixed two-precision extreme (or a
+// uniform baseline) for the tile Cholesky.
+type ConvConfig struct {
+	Name string
+	// OffDiag is the kernel precision of all off-diagonal tiles; diagonal
+	// tiles stay FP64 unless Uniform is set.
+	OffDiag prec.Precision
+	// Uniform applies OffDiag to the diagonal too (FP64/FP32 baselines).
+	Uniform bool
+}
+
+// ConvConfigs returns the configurations of Fig 8: the FP64 and FP32
+// baselines and the FP64/FP16_32 and FP64/FP16 extremes where every
+// communication is eligible for STC.
+func ConvConfigs() []ConvConfig {
+	return []ConvConfig{
+		{Name: "FP64", OffDiag: prec.FP64, Uniform: true},
+		{Name: "FP32", OffDiag: prec.FP32, Uniform: true},
+		{Name: "FP64/FP16_32", OffDiag: prec.FP16x32},
+		{Name: "FP64/FP16", OffDiag: prec.FP16},
+	}
+}
+
+// KernelMap realizes the configuration for an NT×NT tiling.
+func (c ConvConfig) KernelMap(nt int) [][]prec.Precision {
+	if c.Uniform {
+		return precmap.UniformAll(nt, c.OffDiag)
+	}
+	return precmap.Uniform(nt, c.OffDiag)
+}
+
+// ConvRow is one measurement of the STC/TTC comparison.
+type ConvRow struct {
+	Config   string
+	Strategy string
+	N        int
+	Tflops   float64
+	Time     float64
+	BytesH2D int64
+	BytesNet int64
+	// PctPeak is achieved performance over the config's dominant-precision
+	// peak (the dashed lines of Fig 8).
+	PctPeak float64
+}
+
+// ConvSweep runs Fig 8 (single GPU) or Fig 11 (full node) for one machine:
+// every configuration × {STC, TTC} × matrix size, in phantom mode.
+func ConvSweep(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int) ([]ConvRow, error) {
+	plat, err := runtime.NewPlatform(node, ranks, gpusPerRank)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ConvRow
+	for _, cfg := range ConvConfigs() {
+		strategies := []cholesky.Strategy{cholesky.Auto, cholesky.ForceTTC}
+		if cfg.Uniform {
+			// Uniform-precision baselines have no precision mismatch; STC
+			// and TTC coincide, so report a single line.
+			strategies = strategies[:1]
+		}
+		for _, strat := range strategies {
+			for _, n := range sizes {
+				pg, qg := tile.SquarestGrid(plat.Ranks)
+				desc, err := tile.NewDesc(n, ts, pg, qg)
+				if err != nil {
+					return nil, err
+				}
+				maps := precmap.New(cfg.KernelMap(desc.NT), 1e-2)
+				res, err := cholesky.Run(cholesky.Config{
+					Desc: desc, Maps: maps, Platform: plat, Strategy: strat,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s %v n=%d: %w", cfg.Name, strat, n, err)
+				}
+				peak := node.GPU.SupportedPeak(cfg.OffDiag) * float64(plat.NumDevices())
+				rows = append(rows, ConvRow{
+					Config:   cfg.Name,
+					Strategy: strat.String(),
+					N:        n,
+					Tflops:   res.Stats.Flops / 1e12,
+					Time:     res.Stats.Makespan,
+					BytesH2D: res.Stats.BytesH2D,
+					BytesNet: res.Stats.BytesNet,
+					PctPeak:  100 * res.Stats.Flops / peak,
+				})
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"geompc/internal/cholesky"
+	"geompc/internal/geo"
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/stats"
+	"geompc/internal/tile"
+)
+
+// ScaleRow is one point of Fig 12.
+type ScaleRow struct {
+	Config  string
+	Nodes   int
+	GPUs    int
+	N       int
+	Tflops  float64
+	Time    float64
+	PctPeak float64
+	// Speedup vs. the FP64 run of the same N/GPU count (Fig 12c).
+	Speedup float64
+}
+
+// scaleConfig is either a uniform baseline or an application map.
+type scaleConfig struct {
+	name    string
+	app     *App
+	uniform prec.Precision
+}
+
+func scaleConfigs(withFP32 bool) []scaleConfig {
+	out := []scaleConfig{{name: "FP64", uniform: prec.FP64}}
+	if withFP32 {
+		out = append(out, scaleConfig{name: "FP32", uniform: prec.FP32})
+	}
+	apps := Apps()
+	for i := range apps {
+		out = append(out, scaleConfig{name: apps[i].Name, app: &apps[i]})
+	}
+	return out
+}
+
+// runScale executes one phantom factorization on `nodes` Summit nodes.
+func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64) (ScaleRow, error) {
+	plat, err := runtime.NewPlatform(hw.SummitNode, nodes, 0)
+	if err != nil {
+		return ScaleRow{}, err
+	}
+	pg, qg := tile.SquarestGrid(nodes)
+	desc, err := tile.NewDesc(n, ts, pg, qg)
+	if err != nil {
+		return ScaleRow{}, err
+	}
+	var km [][]prec.Precision
+	ureq := 1e-2
+	if cfg.app != nil {
+		rng := stats.NewRNG(seed, 0)
+		locs := geo.GenerateLocations(n, cfg.app.Kernel.Dim(), rng)
+		normFn, global := precmap.EstimateTileNorms(locs, desc, cfg.app.Kernel, cfg.app.Theta, cfg.app.Nugget, 64, rng)
+		km = precmap.NewKernelMap(desc.NT, normFn, global, cfg.app.UReq, prec.CholeskySet)
+		ureq = cfg.app.UReq
+	} else {
+		km = precmap.UniformAll(desc.NT, cfg.uniform)
+	}
+	maps := precmap.New(km, ureq)
+	res, err := cholesky.Run(cholesky.Config{
+		Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto,
+	})
+	if err != nil {
+		return ScaleRow{}, fmt.Errorf("bench: scale %s nodes=%d n=%d: %w", cfg.name, nodes, n, err)
+	}
+	gpus := plat.NumDevices()
+	peak := hw.V100.SupportedPeak(prec.FP64) * float64(gpus)
+	return ScaleRow{
+		Config: cfg.name, Nodes: nodes, GPUs: gpus, N: n,
+		Tflops:  res.Stats.Flops / 1e12,
+		Time:    res.Stats.Makespan,
+		PctPeak: 100 * res.Stats.Flops / peak,
+	}, nil
+}
+
+// WeakScaling runs Fig 12a: the matrix grows with the GPU count so per-GPU
+// memory stays constant (N ∝ √GPUs), FP64 configuration.
+func WeakScaling(nodeCounts []int, baseN, ts int) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	base := float64(nodeCounts[0])
+	for _, nodes := range nodeCounts {
+		n := int(float64(baseN) * math.Sqrt(float64(nodes)/base))
+		n = (n + ts - 1) / ts * ts
+		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// StrongScaling runs Fig 12b: fixed matrix size (the paper uses 798,720)
+// over increasing node counts, FP64 configuration.
+func StrongScaling(nodeCounts []int, n, ts int) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	for _, nodes := range nodeCounts {
+		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// MPEffect runs Fig 12c: on a fixed node count (the paper uses 64 nodes =
+// 384 GPUs), FP64 and FP32 baselines and the three applications' adaptive
+// MP across a matrix-size sweep, reporting speedup over FP64.
+func MPEffect(nodes int, sizes []int, ts int) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	fp64 := make(map[int]float64) // n -> time
+	for _, cfg := range scaleConfigs(true) {
+		for _, n := range sizes {
+			r, err := runScale(cfg, nodes, n, ts, 2)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.name == "FP64" {
+				fp64[n] = r.Time
+			}
+			if t, ok := fp64[n]; ok && r.Time > 0 {
+				r.Speedup = t / r.Time
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"geompc/internal/geo"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/stats"
+	"geompc/internal/tile"
+	"geompc/internal/tlr"
+)
+
+// TLRReport summarizes the future-work study (§VIII): how much storage tile
+// low-rank compression adds on top of mixed-precision storage for one
+// application's covariance.
+type TLRReport struct {
+	App       string
+	N, TS, NT int
+	Tol       float64
+	// MeanRank and MaxRank over the compressed off-diagonal tiles.
+	MeanRank float64
+	MaxRank  int
+	// Storage footprints in bytes: dense FP64, mixed-precision storage
+	// (§V's FP64/FP32 rule), and MP+TLR (low-rank factors stored at each
+	// tile's storage precision; diagonal tiles stay dense FP64).
+	DenseFP64, MPDense, MPTLR int64
+}
+
+// TLRAnalysis compresses every off-diagonal tile of the application's
+// covariance with ACA at tolerance tol and combines the measured ranks with
+// the §V storage-precision map.
+func TLRAnalysis(app App, n, ts int, tol float64, seed uint64) (*TLRReport, error) {
+	desc, err := tile.NewDesc(n, ts, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed, 0)
+	locs := geo.GenerateLocations(n, app.Kernel.Dim(), rng)
+
+	normFn, global := precmap.EstimateTileNorms(locs, desc, app.Kernel, app.Theta, app.Nugget, 128, rng)
+	km := precmap.NewKernelMap(desc.NT, normFn, global, app.UReq, prec.CholeskySet)
+	maps := precmap.New(km, app.UReq)
+
+	rep := &TLRReport{App: app.Name, N: n, TS: ts, NT: desc.NT, Tol: tol}
+	buf := make([]float64, ts*ts)
+	tiles := 0
+	for i := 0; i < desc.NT; i++ {
+		for j := 0; j <= i; j++ {
+			m, nn := desc.TileDim(i), desc.TileDim(j)
+			elems := int64(m) * int64(nn)
+			rep.DenseFP64 += elems * 8
+			sp := maps.Storage[i][j]
+			rep.MPDense += elems * int64(sp.InputBytes())
+			if i == j {
+				rep.MPTLR += elems * 8 // diagonal stays dense FP64
+				continue
+			}
+			geo.CovTile(locs, i*ts, j*ts, m, nn, app.Kernel, app.Theta, app.Nugget, buf, nn)
+			lr := tlr.Compress(buf[:m*nn], m, nn, tol, 0)
+			tiles++
+			rep.MeanRank += float64(lr.Rank)
+			if lr.Rank > rep.MaxRank {
+				rep.MaxRank = lr.Rank
+			}
+			lrBytes := lr.Bytes(sp.InputBytes())
+			if lrBytes > elems*int64(sp.InputBytes()) {
+				lrBytes = elems * int64(sp.InputBytes()) // keep dense if cheaper
+			}
+			rep.MPTLR += lrBytes
+		}
+	}
+	if tiles > 0 {
+		rep.MeanRank /= float64(tiles)
+	}
+	return rep, nil
+}

@@ -1,0 +1,162 @@
+package bessel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// Reference values verified against the independent integral representation
+// K_ν(x) = ∫₀^∞ e^{−x·cosh t}·cosh(νt) dt (composite Simpson, 2·10⁵ panels),
+// which agrees with the classical tabulated values of K₀(1), K₁(1), K₀(2).
+var refK = []struct {
+	nu, x, want float64
+}{
+	{0, 0.1, 2.4270690247020166},
+	{0, 1, 0.42102443824070834},
+	{0, 2, 0.11389387274953343},
+	{0, 5, 0.003691098334042594},
+	{1, 0.1, 9.853844780870606},
+	{1, 1, 0.6019072301972346},
+	{1, 2, 0.13986588181652243},
+	{2, 1, 1.6248388986351774},
+	{0.5, 0.7, 0.74388325232066244}, // sqrt(pi/1.4)*exp(-0.7)
+	{1.5, 1, 0.92213700889574435},   // (1+1/x)*K(0.5,x)
+	{2.5, 2, 0.38979775889617185},   // half-integer via recurrence
+	{0.25, 1, 0.43073977444855821},
+	{0.75, 3, 0.03769642340592487},
+	{1, 10, 1.8648773453824305e-05},
+	{3.7, 4.2, 0.036896280760541696},
+}
+
+func TestKReferenceValues(t *testing.T) {
+	for _, c := range refK {
+		got := K(c.nu, c.x)
+		rel := math.Abs(got-c.want) / c.want
+		if rel > 1e-12 {
+			t.Errorf("K(%g, %g) = %.17g, want %.17g (rel err %.2g)", c.nu, c.x, got, c.want, rel)
+		}
+	}
+}
+
+func TestKHalfClosedForm(t *testing.T) {
+	for _, x := range []float64{0.01, 0.3, 1, 2.5, 10, 50} {
+		want := math.Sqrt(math.Pi/(2*x)) * math.Exp(-x)
+		if got := K(0.5, x); math.Abs(got-want) > 1e-14*want {
+			t.Errorf("K(0.5, %g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestKRecurrenceProperty(t *testing.T) {
+	// K_{ν+1}(x) = K_{ν-1}(x) + (2ν/x)·K_ν(x) must hold for independent
+	// evaluations at the three orders.
+	rng := rand.New(rand.NewPCG(42, 0))
+	for i := 0; i < 300; i++ {
+		nu := 1 + rng.Float64()*3 // ν-1 ∈ [0,3]
+		x := 0.05 + rng.Float64()*8
+		km1 := K(nu-1, x)
+		k0 := K(nu, x)
+		kp1 := K(nu+1, x)
+		want := km1 + (2*nu/x)*k0
+		if rel := math.Abs(kp1-want) / kp1; rel > 1e-10 {
+			t.Fatalf("recurrence violated at ν=%g x=%g: K_{ν+1}=%g, rhs=%g (rel %g)", nu, x, kp1, want, rel)
+		}
+	}
+}
+
+func TestKContinuityAcrossCrossover(t *testing.T) {
+	// The series/CF2 switch at x=2 must be seamless.
+	for _, nu := range []float64{0, 0.3, 0.5, 1, 1.7, 2.5} {
+		lo := K(nu, 2*(1-1e-9))
+		hi := K(nu, 2*(1+1e-9))
+		if rel := math.Abs(lo-hi) / lo; rel > 1e-7 {
+			t.Errorf("ν=%g: discontinuity at crossover: %g vs %g", nu, lo, hi)
+		}
+	}
+}
+
+func TestKContinuityInOrder(t *testing.T) {
+	// K is smooth in ν; evaluations bracketing integers and half-integers
+	// (where the order-reduction path changes) must agree.
+	for _, nu := range []float64{0.5, 1, 1.5, 2} {
+		for _, x := range []float64{0.5, 1.5, 3} {
+			lo := K(nu-1e-7, x)
+			hi := K(nu+1e-7, x)
+			if rel := math.Abs(lo-hi) / lo; rel > 1e-5 {
+				t.Errorf("ν=%g x=%g: kink in order: %g vs %g", nu, x, lo, hi)
+			}
+		}
+	}
+}
+
+func TestKMonotoneInX(t *testing.T) {
+	// K_ν is strictly decreasing in x.
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 200; i++ {
+		nu := rng.Float64() * 3
+		x := 0.05 + rng.Float64()*6
+		if !(K(nu, x) > K(nu, x*1.1)) {
+			t.Fatalf("K(%g,·) not decreasing at x=%g", nu, x)
+		}
+	}
+}
+
+func TestKMonotoneInOrder(t *testing.T) {
+	// For fixed x, K_ν increases with ν ≥ 0.
+	rng := rand.New(rand.NewPCG(8, 8))
+	for i := 0; i < 200; i++ {
+		nu := rng.Float64() * 3
+		x := 0.1 + rng.Float64()*5
+		if !(K(nu+0.3, x) > K(nu, x)) {
+			t.Fatalf("K not increasing in order at ν=%g x=%g", nu, x)
+		}
+	}
+}
+
+func TestKEdgeCases(t *testing.T) {
+	if !math.IsInf(K(1, 0), 1) {
+		t.Error("K(1,0) should be +Inf")
+	}
+	if !math.IsNaN(K(1, -1)) {
+		t.Error("K(1,-1) should be NaN")
+	}
+	if !math.IsNaN(K(math.NaN(), 1)) {
+		t.Error("K(NaN,1) should be NaN")
+	}
+	// Symmetry in order.
+	if K(-1.3, 2) != K(1.3, 2) {
+		t.Error("K(-ν,x) != K(ν,x)")
+	}
+	// Very large x underflows gracefully to 0, not NaN.
+	if v := K(1, 800); v != 0 || math.IsNaN(v) {
+		t.Errorf("K(1,800) = %g, want exact underflow to 0", v)
+	}
+}
+
+func TestKScaled(t *testing.T) {
+	for _, c := range []struct{ nu, x float64 }{{0, 1}, {1, 5}, {0.5, 10}, {2.2, 3}} {
+		want := math.Exp(c.x) * K(c.nu, c.x)
+		if got := KScaled(c.nu, c.x); math.Abs(got-want) > 1e-12*want {
+			t.Errorf("KScaled(%g,%g) = %g, want %g", c.nu, c.x, got, want)
+		}
+	}
+	// Large-x regime must remain finite and close to sqrt(pi/(2x)).
+	got := KScaled(0.5, 1000)
+	want := math.Sqrt(math.Pi / 2000)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("KScaled(0.5,1000) = %g, want %g", got, want)
+	}
+}
+
+func BenchmarkKSmallX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = K(1.0, 0.5)
+	}
+}
+
+func BenchmarkKLargeX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = K(1.0, 5.0)
+	}
+}

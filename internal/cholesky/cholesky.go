@@ -1,0 +1,146 @@
+package cholesky
+
+import (
+	"fmt"
+	"sort"
+
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/tile"
+)
+
+// Config describes one factorization run.
+type Config struct {
+	// Desc is the tiling and process-grid layout.
+	Desc tile.Desc
+	// Maps holds the kernel/storage/comm precision maps.
+	Maps *precmap.Maps
+	// Platform is the simulated machine.
+	Platform *runtime.Platform
+	// Matrix, when non-nil, holds real tile data and enables numeric
+	// execution; nil runs in phantom (cost-only) mode.
+	Matrix *tile.Matrix
+	// Strategy selects Auto (Algorithm 2) or ForceTTC communication.
+	Strategy Strategy
+	// Trace enables per-interval occupancy/power recording.
+	Trace bool
+	// Lookahead overrides the engine's stream pipeline depth (default 2).
+	Lookahead int
+}
+
+// Result reports a completed factorization.
+type Result struct {
+	Stats    runtime.Stats
+	Strategy Strategy
+	// STCTasks/CommTasks count communication-issuing tasks using
+	// sender-side conversion vs the total (Algorithm 2's decision).
+	STCTasks, CommTasks int
+	// Err is the first numeric failure (e.g. a non-SPD pivot), nil on
+	// success or in phantom mode.
+	Err error
+
+	engine *runtime.Engine
+}
+
+// DeviceTrace exposes the busy/transfer interval traces of device i
+// recorded during a Trace-enabled run.
+func (r *Result) DeviceTrace(i int) (busy, xfer []runtime.Interval) {
+	return r.engine.DeviceTrace(i)
+}
+
+// Run executes the adaptive mixed-precision tile Cholesky described by cfg
+// and returns its simulated statistics (and, in numeric mode, leaves the
+// factor L in cfg.Matrix's lower tiles).
+func Run(cfg Config) (*Result, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("cholesky: nil platform")
+	}
+	if cfg.Maps == nil {
+		return nil, fmt.Errorf("cholesky: nil precision maps")
+	}
+	g := &graph{
+		ids:      newIDs(cfg.Desc.NT),
+		desc:     cfg.Desc,
+		maps:     cfg.Maps,
+		plat:     cfg.Platform,
+		strat:    cfg.Strategy,
+		mat:      cfg.Matrix,
+		rankSeen: make([]int64, cfg.Platform.Ranks),
+	}
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	if g.mat != nil {
+		g.wire = make([][]float64, cfg.Desc.NT*(cfg.Desc.NT+1)/2)
+	}
+	eng := runtime.New(cfg.Platform, g)
+	eng.Trace = cfg.Trace
+	if cfg.Lookahead > 0 {
+		eng.Lookahead = cfg.Lookahead
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Stats:    stats,
+		Strategy: cfg.Strategy,
+		Err:      g.Err(),
+		engine:   eng,
+	}
+	if cfg.Strategy == ForceTTC {
+		_, res.CommTasks = cfg.Maps.STCCount()
+	} else {
+		res.STCTasks, res.CommTasks = cfg.Maps.STCCount()
+	}
+	return res, nil
+}
+
+// TheoreticalFlops returns the flop count of an N×N Cholesky, N³/3.
+func TheoreticalFlops(n int) float64 {
+	fn := float64(n)
+	return fn * fn * fn / 3
+}
+
+// TaskName renders a task id as the paper's notation: POTRF(k), TRSM(m,k),
+// SYRK(m,k) or GEMM(m,n,k).
+func TaskName(nt, id int) string {
+	s := newIDs(nt)
+	op, m, n, k := s.decode(id)
+	switch op {
+	case opPotrf:
+		return fmt.Sprintf("POTRF(%d)", k)
+	case opTrsm:
+		return fmt.Sprintf("TRSM(%d,%d)", m, k)
+	case opSyrk:
+		return fmt.Sprintf("SYRK(%d,%d)", m, k)
+	default:
+		return fmt.Sprintf("GEMM(%d,%d,%d)", m, n, k)
+	}
+}
+
+// Schedule returns the simulated task timeline of a Trace-enabled run,
+// labeled in the paper's notation — the Fig 3 execution demonstration.
+// Labels are only meaningful for Run (PTG ids); RunDTD results use
+// insertion-order ids and should not be passed here.
+func (r *Result) Schedule(nt int) []ScheduledTask {
+	raw := r.engine.ScheduleTrace()
+	out := make([]ScheduledTask, len(raw))
+	for i, t := range raw {
+		out[i] = ScheduledTask{
+			Name:   TaskName(nt, t.ID),
+			Device: t.Device,
+			Start:  t.Start,
+			End:    t.End,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ScheduledTask is one labeled entry of the simulated timeline.
+type ScheduledTask struct {
+	Name       string
+	Device     int
+	Start, End float64
+}

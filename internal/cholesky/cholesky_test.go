@@ -1,0 +1,521 @@
+package cholesky
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"geompc/internal/geo"
+	"geompc/internal/hw"
+	"geompc/internal/linalg"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/stats"
+	"geompc/internal/tile"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	for _, nt := range []int{1, 2, 3, 5, 8, 13} {
+		s := newIDs(nt)
+		seen := make(map[int]bool, s.numTasks)
+		check := func(id, op, m, n, k int) {
+			t.Helper()
+			if seen[id] {
+				t.Fatalf("nt=%d: duplicate id %d", nt, id)
+			}
+			seen[id] = true
+			gop, gm, gn, gk := s.decode(id)
+			if gop != op || gk != k || (op != opPotrf && gm != m) || (op == opGemm && gn != n) {
+				t.Fatalf("nt=%d id=%d: decode = (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+					nt, id, gop, gm, gn, gk, op, m, n, k)
+			}
+		}
+		for k := 0; k < nt; k++ {
+			check(s.potrf(k), opPotrf, k, 0, k)
+		}
+		for m := 1; m < nt; m++ {
+			for k := 0; k < m; k++ {
+				check(s.trsm(m, k), opTrsm, m, 0, k)
+				check(s.syrk(m, k), opSyrk, m, 0, k)
+			}
+		}
+		for m := 2; m < nt; m++ {
+			for n := 1; n < m; n++ {
+				for k := 0; k < n; k++ {
+					check(s.gemm(m, n, k), opGemm, m, n, k)
+				}
+			}
+		}
+		if len(seen) != s.numTasks {
+			t.Fatalf("nt=%d: enumerated %d ids, numTasks=%d", nt, len(seen), s.numTasks)
+		}
+	}
+}
+
+func TestGraphEdgesConsistent(t *testing.T) {
+	// For every task, its in-degree must equal the number of times it
+	// appears in other tasks' successor lists.
+	nt := 6
+	g := buildTestGraph(t, nt, 1e-4, nil, Auto, 1, 1)
+	indeg := make([]int, g.numTasks)
+	var buf []int
+	for id := 0; id < g.numTasks; id++ {
+		buf = g.Successors(id, buf[:0])
+		for _, s := range buf {
+			indeg[s]++
+		}
+	}
+	for id := 0; id < g.numTasks; id++ {
+		if indeg[id] != g.NumPredecessors(id) {
+			op, m, n, k := g.decode(id)
+			t.Fatalf("task %d (op=%d m=%d n=%d k=%d): in-degree %d vs declared %d",
+				id, op, m, n, k, indeg[id], g.NumPredecessors(id))
+		}
+	}
+}
+
+// buildTestGraph assembles a numeric (or phantom if mat nil explicitly
+// requested) graph over a jittered-grid sqexp covariance.
+func buildTestGraph(t *testing.T, nt int, ureq float64, kernelOverride [][]prec.Precision, strat Strategy, ranks, devPerRank int) *graph {
+	t.Helper()
+	ts := 16
+	n := nt * ts
+	rng := stats.NewRNG(42, 0)
+	locs := geo.GenerateLocations(n, 2, rng)
+	kfn := geo.SqExp{Dimension: 2}
+	theta := []float64{1, 0.05}
+	p, q := tile.SquarestGrid(ranks)
+	d, err := tile.NewDesc(n, ts, p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := tile.NewMatrix(d, false)
+	mat.Fill(func(tl *tile.Tile, r0, c0 int) {
+		geo.CovTile(locs, r0, c0, tl.M, tl.N, kfn, theta, 1e-8, tl.Data, tl.N)
+	})
+	kernel := kernelOverride
+	if kernel == nil {
+		kernel = precmap.FromMatrix(mat, ureq, prec.CholeskySet)
+	}
+	maps := precmap.New(kernel, ureq)
+	mat.SetStorage(func(i, j int) prec.Precision { return maps.Storage[i][j] })
+	plat, err := runtime.NewPlatform(hw.SummitNode, ranks, devPerRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &graph{
+		ids: newIDs(nt), desc: d, maps: maps, plat: plat, strat: strat,
+		mat: mat, wire: make([][]float64, nt*(nt+1)/2),
+		rankSeen: make([]int64, plat.Ranks),
+	}
+}
+
+// runConfig builds and runs a full numeric factorization, returning the
+// matrix, the dense FP64 reference factor, and the result.
+func runNumeric(t *testing.T, nt int, ureq float64, kernel [][]prec.Precision, strat Strategy, ranks, devPerRank int) (*tile.Matrix, []float64, *Result) {
+	t.Helper()
+	ts := 16
+	n := nt * ts
+	rng := stats.NewRNG(42, 0)
+	locs := geo.GenerateLocations(n, 2, rng)
+	kfn := geo.SqExp{Dimension: 2}
+	theta := []float64{1, 0.05}
+	p, q := tile.SquarestGrid(ranks)
+	d, err := tile.NewDesc(n, ts, p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := tile.NewMatrix(d, false)
+	mat.Fill(func(tl *tile.Tile, r0, c0 int) {
+		geo.CovTile(locs, r0, c0, tl.M, tl.N, kfn, theta, 1e-8, tl.Data, tl.N)
+	})
+	dense := mat.ToDense()
+	if err := linalg.PotrfLower(n, dense, n); err != nil {
+		t.Fatal(err)
+	}
+	km := kernel
+	if km == nil {
+		km = precmap.FromMatrix(mat, ureq, prec.CholeskySet)
+	}
+	maps := precmap.New(km, ureq)
+	mat.SetStorage(func(i, j int) prec.Precision { return maps.Storage[i][j] })
+	plat, err := runtime.NewPlatform(hw.SummitNode, ranks, devPerRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Desc: d, Maps: maps, Platform: plat, Matrix: mat, Strategy: strat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mat, dense, res
+}
+
+func TestNumericFP64MatchesDense(t *testing.T) {
+	nt := 5
+	mat, dense, res := runNumeric(t, nt, 0, precmap.UniformAll(nt, prec.FP64), Auto, 1, 1)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	n := mat.N
+	got := mat.LowerToDense()
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if d := math.Abs(got[i*n+j] - dense[i*n+j]); d > 1e-11 {
+				t.Fatalf("L(%d,%d) = %g, dense ref %g (diff %g)", i, j, got[i*n+j], dense[i*n+j], d)
+			}
+		}
+	}
+}
+
+// lowerRelError compares two factors over the lower triangle only (dense
+// POTRF leaves the original upper triangle untouched).
+func lowerRelError(n int, got, ref []float64) float64 {
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			d := got[i*n+j] - ref[i*n+j]
+			num += d * d
+			den += ref[i*n+j] * ref[i*n+j]
+		}
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestNumericMPCloseToFP64(t *testing.T) {
+	// Adaptive map at u_req=1e-6: the factor must match FP64 loosely, and
+	// the reconstruction L·Lᵀ must be within a tolerance tied to u_req.
+	nt := 6
+	mat, dense, res := runNumeric(t, nt, 1e-6, nil, Auto, 1, 1)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	rel := lowerRelError(mat.N, mat.LowerToDense(), dense)
+	if rel > 1e-3 {
+		t.Errorf("MP factor relative error %g too large", rel)
+	}
+	if rel == 0 {
+		t.Error("MP factor identical to FP64 — reduced precision never engaged?")
+	}
+}
+
+func TestMPUsesReducedPrecisionTiles(t *testing.T) {
+	g := buildTestGraph(t, 8, 1e-4, nil, Auto, 1, 1)
+	counts := precmap.New(g.maps.Kernel, 1e-4).Counts()
+	if counts[prec.FP16]+counts[prec.FP16x32]+counts[prec.FP32] == 0 {
+		t.Fatal("test covariance produced no reduced-precision tiles; weak test")
+	}
+}
+
+func TestSTCBeatsTTC(t *testing.T) {
+	// Under the FP64/FP16 extreme, STC must move fewer H2D bytes and finish
+	// no later than TTC (Fig 8's claim). Phantom mode at a realistic size
+	// where the working set exceeds V100 memory — the regime where the
+	// conversion strategy matters.
+	nt, ts := 48, 2048
+	d, err := tile.NewDesc(nt*ts, ts, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := precmap.New(precmap.Uniform(nt, prec.FP16), 1e-2)
+	plat, err := runtime.NewPlatform(hw.SummitNode, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(s Strategy) *Result {
+		r, err := Run(Config{Desc: d, Maps: maps, Platform: plat, Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	stc, ttc := run(Auto), run(ForceTTC)
+	// In the cached single-GPU regime bytes tie; STC must never move more.
+	if stc.Stats.BytesH2D > ttc.Stats.BytesH2D {
+		t.Errorf("STC H2D bytes %d above TTC %d", stc.Stats.BytesH2D, ttc.Stats.BytesH2D)
+	}
+	// The single-GPU gap comes from eliminating per-consumer conversion
+	// kernels: TTC must be strictly slower.
+	if stc.Stats.Makespan >= ttc.Stats.Makespan {
+		t.Errorf("STC makespan %g not below TTC %g", stc.Stats.Makespan, ttc.Stats.Makespan)
+	}
+	if stc.STCTasks == 0 {
+		t.Error("no STC tasks under all-FP16 map")
+	}
+	if ttc.STCTasks != 0 {
+		t.Error("ForceTTC reported STC tasks")
+	}
+	// TTC pays per-consumer conversions; STC converts at the sender.
+	if stc.Stats.SenderConversions == 0 {
+		t.Error("STC made no sender conversions")
+	}
+	if ttc.Stats.ReceiverConversions <= stc.Stats.ReceiverConversions {
+		t.Errorf("TTC receiver conversions %d not above STC %d",
+			ttc.Stats.ReceiverConversions, stc.Stats.ReceiverConversions)
+	}
+}
+
+func TestSTCReducesNetworkAndH2DAcrossRanks(t *testing.T) {
+	// On a multi-rank platform the wire format governs network and H2D
+	// volume: STC must move strictly fewer bytes (§VI's data-motion claim).
+	nt, ts := 24, 2048
+	d, err := tile.NewDesc(nt*ts, ts, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := precmap.New(precmap.Uniform(nt, prec.FP16), 1e-2)
+	plat, err := runtime.NewPlatform(hw.SummitNode, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(s Strategy) *Result {
+		r, err := Run(Config{Desc: d, Maps: maps, Platform: plat, Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	stc, ttc := run(Auto), run(ForceTTC)
+	if stc.Stats.BytesNet >= ttc.Stats.BytesNet {
+		t.Errorf("STC network bytes %d not below TTC %d", stc.Stats.BytesNet, ttc.Stats.BytesNet)
+	}
+	if stc.Stats.BytesH2D >= ttc.Stats.BytesH2D {
+		t.Errorf("STC H2D bytes %d not below TTC %d", stc.Stats.BytesH2D, ttc.Stats.BytesH2D)
+	}
+	if stc.Stats.Makespan >= ttc.Stats.Makespan {
+		t.Errorf("STC makespan %g not below TTC %g", stc.Stats.Makespan, ttc.Stats.Makespan)
+	}
+}
+
+func TestNumericSameResultAcrossStrategiesOneDevice(t *testing.T) {
+	// On one device no consumer ever reads a wire copy, so STC and TTC
+	// must produce bit-identical factors.
+	nt := 5
+	kernel := precmap.Uniform(nt, prec.FP16x32)
+	m1, _, r1 := runNumeric(t, nt, 1e-3, kernel, Auto, 1, 1)
+	m2, _, r2 := runNumeric(t, nt, 1e-3, kernel, ForceTTC, 1, 1)
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatal(r1.Err, r2.Err)
+	}
+	a, b := m1.LowerToDense(), m2.LowerToDense()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("factor differs at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMultiRankNumeric(t *testing.T) {
+	// 2 ranks × 2 devices: result must still be a valid factorization and
+	// network traffic must appear.
+	nt := 6
+	mat, dense, res := runNumeric(t, nt, 1e-6, nil, Auto, 2, 2)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Stats.BytesNet == 0 {
+		t.Error("multi-rank run produced no network traffic")
+	}
+	if rel := lowerRelError(mat.N, mat.LowerToDense(), dense); rel > 1e-3 {
+		t.Errorf("multi-rank MP factor error %g", rel)
+	}
+}
+
+func TestPhantomMatchesNumericCosts(t *testing.T) {
+	// Phantom mode must produce the same virtual-time statistics as the
+	// numeric run (bodies do not influence the simulation).
+	nt := 6
+	ts := 16
+	n := nt * ts
+	rng := stats.NewRNG(42, 0)
+	locs := geo.GenerateLocations(n, 2, rng)
+	kfn := geo.SqExp{Dimension: 2}
+	theta := []float64{1, 0.05}
+	d, _ := tile.NewDesc(n, ts, 1, 1)
+	mat := tile.NewMatrix(d, false)
+	mat.Fill(func(tl *tile.Tile, r0, c0 int) {
+		geo.CovTile(locs, r0, c0, tl.M, tl.N, kfn, theta, 1e-8, tl.Data, tl.N)
+	})
+	maps := precmap.New(precmap.FromMatrix(mat, 1e-6, prec.CholeskySet), 1e-6)
+	mat.SetStorage(func(i, j int) prec.Precision { return maps.Storage[i][j] })
+	plat, _ := runtime.NewPlatform(hw.SummitNode, 1, 1)
+
+	num, err := Run(Config{Desc: d, Maps: maps, Platform: plat, Matrix: mat, Strategy: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := Run(Config{Desc: d, Maps: maps, Platform: plat, Matrix: nil, Strategy: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num.Stats.Makespan != ph.Stats.Makespan {
+		t.Errorf("phantom makespan %g != numeric %g", ph.Stats.Makespan, num.Stats.Makespan)
+	}
+	if num.Stats.BytesH2D != ph.Stats.BytesH2D || num.Stats.Energy != ph.Stats.Energy {
+		t.Error("phantom data motion/energy differ from numeric")
+	}
+	if ph.Err != nil {
+		t.Error("phantom mode reported a numeric error")
+	}
+}
+
+func TestNonSPDReportsError(t *testing.T) {
+	nt := 3
+	ts := 8
+	n := nt * ts
+	d, _ := tile.NewDesc(n, ts, 1, 1)
+	mat := tile.NewMatrix(d, false)
+	// An indefinite matrix: identity with one negative diagonal entry.
+	mat.Fill(func(tl *tile.Tile, r0, c0 int) {
+		for i := 0; i < tl.M; i++ {
+			for j := 0; j < tl.N; j++ {
+				if r0+i == c0+j {
+					tl.Data[i*tl.N+j] = 1
+				}
+			}
+		}
+	})
+	mat.At(1, 1).Data[0] = -5
+	maps := precmap.New(precmap.UniformAll(nt, prec.FP64), 0)
+	plat, _ := runtime.NewPlatform(hw.SummitNode, 1, 1)
+	res, err := Run(Config{Desc: d, Maps: maps, Platform: plat, Matrix: mat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Error("indefinite matrix factored without error")
+	}
+}
+
+func TestFlopAccounting(t *testing.T) {
+	nt := 5
+	_, _, res := runNumeric(t, nt, 0, precmap.UniformAll(nt, prec.FP64), Auto, 1, 1)
+	n := float64(nt * 16)
+	want := n * n * n / 3
+	got := res.Stats.TotalFlops
+	// Tile-level counts approximate N³/3 to O(N²·TS).
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("total flops %g too far from N³/3 = %g", got, want)
+	}
+	if TheoreticalFlops(nt*16) != want {
+		t.Error("TheoreticalFlops mismatch")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	nt := 6
+	_, _, r1 := runNumeric(t, nt, 1e-6, nil, Auto, 2, 2)
+	_, _, r2 := runNumeric(t, nt, 1e-6, nil, Auto, 2, 2)
+	if r1.Stats.Makespan != r2.Stats.Makespan || r1.Stats.Energy != r2.Stats.Energy ||
+		r1.Stats.BytesH2D != r2.Stats.BytesH2D || r1.Stats.BytesNet != r2.Stats.BytesNet {
+		t.Error("repeated runs differ")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	plat, _ := runtime.NewPlatform(hw.SummitNode, 1, 1)
+	if _, err := Run(Config{Platform: nil}); err == nil {
+		t.Error("nil platform accepted")
+	}
+	if _, err := Run(Config{Platform: plat, Maps: nil}); err == nil {
+		t.Error("nil maps accepted")
+	}
+	d, _ := tile.NewDesc(64, 16, 1, 1)
+	maps := precmap.New(precmap.UniformAll(3, prec.FP64), 0) // NT mismatch
+	if _, err := Run(Config{Platform: plat, Maps: maps, Desc: d}); err == nil {
+		t.Error("NT mismatch accepted")
+	}
+}
+
+func TestScheduleTrace(t *testing.T) {
+	nt := 4
+	d, _ := tile.NewDesc(nt*16, 16, 1, 1)
+	maps := precmap.New(precmap.UniformAll(nt, prec.FP64), 0)
+	plat, _ := runtime.NewPlatform(hw.SummitNode, 1, 2)
+	res, err := Run(Config{Desc: d, Maps: maps, Platform: plat, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := res.Schedule(nt)
+	want := nt + nt*(nt-1) + nt*(nt-1)*(nt-2)/6
+	if len(sched) != want {
+		t.Fatalf("schedule has %d entries, want %d tasks", len(sched), want)
+	}
+	if sched[0].Name != "POTRF(0)" {
+		t.Errorf("first scheduled task %s, want POTRF(0)", sched[0].Name)
+	}
+	last := sched[len(sched)-1]
+	if last.Name != fmt.Sprintf("POTRF(%d)", nt-1) {
+		t.Errorf("last scheduled task %s, want POTRF(%d)", last.Name, nt-1)
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i].Start < sched[i-1].Start {
+			t.Fatal("schedule not sorted by start time")
+		}
+	}
+	// Dependency sanity in the timeline: TRSM(1,0) cannot start before
+	// POTRF(0) ends.
+	times := map[string][2]float64{}
+	for _, s := range sched {
+		times[s.Name] = [2]float64{s.Start, s.End}
+	}
+	if times["TRSM(1,0)"][0] < times["POTRF(0)"][1] {
+		t.Error("TRSM(1,0) started before POTRF(0) finished")
+	}
+	if times["GEMM(2,1,0)"][0] < times["TRSM(2,0)"][1] {
+		t.Error("GEMM(2,1,0) started before TRSM(2,0) finished")
+	}
+}
+
+func TestLoadBalanceAcrossDevices(t *testing.T) {
+	// 2D block-cyclic + owner-computes must spread work roughly evenly
+	// across a node's GPUs.
+	nt, ts := 24, 512
+	d, _ := tile.NewDesc(nt*ts, ts, 1, 1)
+	maps := precmap.New(precmap.UniformAll(nt, prec.FP64), 0)
+	plat, _ := runtime.NewPlatform(hw.SummitNode, 1, 6)
+	res, err := Run(Config{Desc: d, Maps: maps, Platform: plat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minF, maxF float64 = math.Inf(1), 0
+	for _, ds := range res.Stats.Devices {
+		if ds.Flops < minF {
+			minF = ds.Flops
+		}
+		if ds.Flops > maxF {
+			maxF = ds.Flops
+		}
+	}
+	if maxF > 2.5*minF {
+		t.Errorf("flop imbalance across GPUs: min %g, max %g", minF, maxF)
+	}
+}
+
+func TestPTGValidates(t *testing.T) {
+	// The algebraic graph must pass the runtime's structural validator at
+	// several tilings (degree consistency + acyclicity).
+	for _, nt := range []int{1, 2, 5, 12} {
+		g := &graph{ids: newIDs(nt)}
+		d, _ := tile.NewDesc(nt*16, 16, 1, 1)
+		g.desc = d
+		g.maps = precmap.New(precmap.UniformAll(nt, prec.FP64), 0)
+		plat, _ := runtime.NewPlatform(hw.SummitNode, 1, 1)
+		g.plat = plat
+		g.rankSeen = make([]int64, 1)
+		if err := runtime.Validate(g); err != nil {
+			t.Errorf("nt=%d: %v", nt, err)
+		}
+	}
+}
+
+func TestDTDValidates(t *testing.T) {
+	d, _ := tile.NewDesc(6*16, 16, 1, 1)
+	maps := precmap.New(precmap.Uniform(6, prec.FP16x32), 1e-4)
+	plat, _ := runtime.NewPlatform(hw.SummitNode, 1, 2)
+	// Build the DTD graph through RunDTD's path but validate before running:
+	// reuse RunDTD directly (it validates implicitly by completing).
+	if _, err := RunDTD(Config{Desc: d, Maps: maps, Platform: plat}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package cholesky
+
+import (
+	"fmt"
+
+	"geompc/internal/runtime"
+)
+
+// RunDTD executes the same factorization as Run, but expresses it through
+// the runtime's Dynamic Task Discovery interface: tasks are inserted in the
+// sequential order of Algorithm 1 and every dependence edge is *inferred*
+// from Read/Write data-access annotations, instead of being declared
+// algebraically by the PTG. For the Cholesky DAG the inferred edges are
+// semantically identical to the PTG's, so the two front-ends must produce
+// the same simulated statistics and (in numeric mode) the same factor — a
+// property the test suite asserts. This mirrors PaRSEC offering PTG and DTD
+// as interchangeable DSLs over one runtime (§III-B).
+func RunDTD(cfg Config) (*Result, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("cholesky: nil platform")
+	}
+	if cfg.Maps == nil {
+		return nil, fmt.Errorf("cholesky: nil precision maps")
+	}
+	g := &graph{
+		ids:      newIDs(cfg.Desc.NT),
+		desc:     cfg.Desc,
+		maps:     cfg.Maps,
+		plat:     cfg.Platform,
+		strat:    cfg.Strategy,
+		mat:      cfg.Matrix,
+		rankSeen: make([]int64, cfg.Platform.Ranks),
+	}
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	if g.mat != nil {
+		g.wire = make([][]float64, cfg.Desc.NT*(cfg.Desc.NT+1)/2)
+	}
+
+	dtd := runtime.NewDTDGraph()
+	g.InitialData(dtd.Data)
+
+	nt := cfg.Desc.NT
+	var spec runtime.TaskSpec
+	insert := func(id int) error {
+		spec = runtime.TaskSpec{}
+		g.Spec(id, &spec)
+		accesses := make([]runtime.Access, 0, len(spec.Inputs)+1)
+		for _, in := range spec.Inputs {
+			accesses = append(accesses, runtime.Access{
+				Data: in.Data, Mode: runtime.Read,
+				WireBytes:    in.WireBytes,
+				ConvertElems: in.ConvertElems,
+				ConvFrom:     in.ConvFrom, ConvTo: in.ConvTo,
+			})
+		}
+		accesses = append(accesses, runtime.Access{
+			Data: spec.Output.Data, Mode: runtime.Write, WireBytes: spec.Output.Bytes,
+		})
+		_, err := dtd.Insert(spec, accesses...)
+		return err
+	}
+
+	// Algorithm 1, inserted sequentially.
+	for k := 0; k < nt; k++ {
+		if err := insert(g.potrf(k)); err != nil {
+			return nil, err
+		}
+		for m := k + 1; m < nt; m++ {
+			if err := insert(g.trsm(m, k)); err != nil {
+				return nil, err
+			}
+		}
+		for m := k + 1; m < nt; m++ {
+			if err := insert(g.syrk(m, k)); err != nil {
+				return nil, err
+			}
+		}
+		for m := k + 2; m < nt; m++ {
+			for n := k + 1; n < m; n++ {
+				if err := insert(g.gemm(m, n, k)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	eng := runtime.New(cfg.Platform, dtd)
+	eng.Trace = cfg.Trace
+	if cfg.Lookahead > 0 {
+		eng.Lookahead = cfg.Lookahead
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Stats:    stats,
+		Strategy: cfg.Strategy,
+		Err:      g.Err(),
+		engine:   eng,
+	}
+	if cfg.Strategy == ForceTTC {
+		_, res.CommTasks = cfg.Maps.STCCount()
+	} else {
+		res.STCTasks, res.CommTasks = cfg.Maps.STCCount()
+	}
+	return res, nil
+}

@@ -1,0 +1,357 @@
+package cholesky
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/tile"
+)
+
+// Strategy selects how communication precision is chosen.
+type Strategy int
+
+const (
+	// Auto is the paper's automated conversion strategy: Algorithm 2's
+	// comm-precision map decides STC vs TTC per task.
+	Auto Strategy = iota
+	// ForceTTC always sends at storage precision with receiver-side
+	// conversion — the lower bound of Fig 8.
+	ForceTTC
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == ForceTTC {
+		return "TTC"
+	}
+	return "STC"
+}
+
+// graph is the runtime.Graph of one factorization.
+type graph struct {
+	ids
+	desc  tile.Desc
+	maps  *precmap.Maps
+	plat  *runtime.Platform
+	strat Strategy
+
+	mat *tile.Matrix // nil in phantom mode
+	// wire holds the communicated representation of each published tile in
+	// numeric mode (the STC down-cast copy, or the tile data itself under
+	// TTC). Indexed like the packed lower triangle.
+	wire [][]float64
+
+	err atomic.Value // first numeric error (POTRF failure)
+
+	rankSeen []int64 // scratch: per-rank visit stamps for RemoteRanks dedupe
+	stamp    int64
+}
+
+func (g *graph) NumTasks() int { return g.numTasks }
+
+// dataID packs tile coordinates.
+func (g *graph) dataID(i, j int) runtime.DataID {
+	return runtime.DataID(int64(i)*int64(g.nt) + int64(j))
+}
+
+// deviceOf implements owner-computes task placement: every task runs on the
+// device owning its output tile. Tiles distribute 2D block-cyclically over
+// ranks, then round-robin over the rank's GPUs by local tile coordinates.
+func (g *graph) deviceOf(i, j int) int {
+	rank := g.desc.RankOf(i, j)
+	local := 0
+	if g.plat.DevPerRank > 1 {
+		local = (i/g.desc.P + j/g.desc.Q) % g.plat.DevPerRank
+	}
+	return g.plat.DeviceOf(rank, local)
+}
+
+// wirePrec returns the precision tile (i,j) travels in when its producing
+// task communicates, per the active strategy.
+func (g *graph) wirePrec(i, j int) prec.Precision {
+	if g.strat == ForceTTC {
+		return g.maps.Storage[i][j]
+	}
+	return g.maps.Comm[i][j]
+}
+
+func (g *graph) wireBytes(i, j int) int64 {
+	return int64(g.desc.TileDim(i)) * int64(g.desc.TileDim(j)) * int64(g.wirePrec(i, j).InputBytes())
+}
+
+func (g *graph) storageBytes(i, j int) int64 {
+	return int64(g.desc.TileDim(i)) * int64(g.desc.TileDim(j)) * int64(g.maps.Storage[i][j].InputBytes())
+}
+
+// trsmExec returns the execution precision of TRSM on tile (m,k): the
+// kernel precision if FP64/FP32, otherwise FP32 (§V hardware constraint) —
+// which is by construction the tile's storage precision.
+func (g *graph) trsmExec(m, k int) prec.Precision { return g.maps.Storage[m][k] }
+
+// wireFormat maps a precision to the element format actually on the wire:
+// half-input precisions share the binary16 representation.
+func wireFormat(p prec.Precision) prec.Precision {
+	switch p {
+	case prec.FP64:
+		return prec.FP64
+	case prec.FP32, prec.TF32:
+		return prec.FP32
+	default:
+		return prec.FP16
+	}
+}
+
+// execInputFormat is the element format a kernel consumes its inputs in.
+func execInputFormat(p prec.Precision) prec.Precision { return wireFormat(p) }
+
+// NumPredecessors implements runtime.Graph.
+func (g *graph) NumPredecessors(id int) int {
+	op, m, _, k := g.decode(id)
+	switch op {
+	case opPotrf:
+		if k == 0 {
+			return 0
+		}
+		return 1 // SYRK(k, k-1)
+	case opTrsm:
+		if k == 0 {
+			return 1 // POTRF(0)
+		}
+		return 2 // POTRF(k) + GEMM(m,k,k-1)
+	case opSyrk:
+		if k == 0 {
+			return 1 // TRSM(m,0)
+		}
+		return 2 // TRSM(m,k) + SYRK(m,k-1)
+	case opGemm:
+		if k == 0 {
+			return 2 // TRSM(m,0), TRSM(n,0)
+		}
+		return 3 // + GEMM(m,n,k-1)
+	}
+	_ = m
+	panic("unreachable")
+}
+
+// Successors implements runtime.Graph.
+func (g *graph) Successors(id int, buf []int) []int {
+	op, m, n, k := g.decode(id)
+	switch op {
+	case opPotrf:
+		for i := k + 1; i < g.nt; i++ {
+			buf = append(buf, g.trsm(i, k))
+		}
+	case opTrsm:
+		buf = append(buf, g.syrk(m, k))
+		for j := k + 1; j < m; j++ {
+			buf = append(buf, g.gemm(m, j, k))
+		}
+		for i := m + 1; i < g.nt; i++ {
+			buf = append(buf, g.gemm(i, m, k))
+		}
+	case opSyrk:
+		if k == m-1 {
+			buf = append(buf, g.potrf(m))
+		} else {
+			buf = append(buf, g.syrk(m, k+1))
+		}
+	case opGemm:
+		if k == n-1 {
+			buf = append(buf, g.trsm(m, n))
+		} else {
+			buf = append(buf, g.gemm(m, n, k+1))
+		}
+	}
+	return buf
+}
+
+// InitialData implements runtime.Graph: every lower tile starts host-
+// resident at its owning rank (matrix generation phase, not timed).
+func (g *graph) InitialData(visit func(d runtime.DataID, rank int)) {
+	for i := 0; i < g.nt; i++ {
+		for j := 0; j <= i; j++ {
+			visit(g.dataID(i, j), g.desc.RankOf(i, j))
+		}
+	}
+}
+
+// priority approximates the tile Cholesky critical path: panel k tasks
+// outrank panel k+1 tasks; within a panel POTRF > TRSM > SYRK > GEMM, with
+// GEMMs urgent in proportion to the panel they unblock.
+func (g *graph) priority(op, m, n, k int) int64 {
+	nt := int64(g.nt)
+	switch op {
+	case opPotrf:
+		return (nt - int64(k)) * 4096 * 4
+	case opTrsm:
+		return (nt-int64(k))*4096*4 - 1024 - int64(m-k)
+	case opSyrk:
+		return (nt-int64(k))*4096*3 - int64(m)
+	case opGemm:
+		// GEMM(m,n,k) unblocks TRSM(m,n) at panel n.
+		return (nt-int64(n))*4096*2 - int64(m)
+	}
+	panic("unreachable")
+}
+
+// consumerSpread collects the distinct ranks (≠ producer's) among the
+// consumer tiles listed by visit — the network broadcast targets.
+func (g *graph) consumerSpread(prodDev int, tiles func(visit func(i, j int))) (remote []int) {
+	g.stamp++
+	prodRank := g.plat.RankOfDevice(prodDev)
+	tiles(func(i, j int) {
+		r := g.plat.RankOfDevice(g.deviceOf(i, j))
+		if r == prodRank {
+			return
+		}
+		if g.rankSeen[r] != g.stamp {
+			g.rankSeen[r] = g.stamp
+			remote = append(remote, r)
+		}
+	})
+	return remote
+}
+
+// Spec implements runtime.Graph.
+func (g *graph) Spec(id int, s *runtime.TaskSpec) {
+	op, m, n, k := g.decode(id)
+	nt := g.nt
+	bd := func(x int) float64 { return float64(g.desc.TileDim(x)) }
+
+	switch op {
+	case opPotrf:
+		s.Kind = hw.KindPotrf
+		s.Device = g.deviceOf(k, k)
+		s.Prec = g.maps.Kernel[k][k]
+		s.Flops = bd(k) * bd(k) * bd(k) / 3
+		s.Priority = g.priority(op, k, 0, k)
+		s.Inputs = nil
+		s.Output = runtime.OutputSpec{Data: g.dataID(k, k), Bytes: g.storageBytes(k, k)}
+		if k < nt-1 {
+			remote := g.consumerSpread(s.Device, func(visit func(i, j int)) {
+				for i := k + 1; i < nt; i++ {
+					visit(i, k)
+				}
+			})
+			wp := g.wirePrec(k, k)
+			pub := &runtime.PublishSpec{
+				WireBytes:   g.wireBytes(k, k),
+				RemoteRanks: remote,
+			}
+			if wireFormat(wp) != wireFormat(g.maps.Storage[k][k]) {
+				pub.ConvertElems = int(bd(k) * bd(k))
+				pub.ConvFrom, pub.ConvTo = g.maps.Storage[k][k], wp
+			}
+			s.Publish = pub
+		} else {
+			s.Publish = nil
+		}
+		s.Body = g.potrfBody(k)
+
+	case opTrsm:
+		s.Kind = hw.KindTrsm
+		s.Device = g.deviceOf(m, k)
+		s.Prec = g.trsmExec(m, k)
+		s.Flops = bd(m) * bd(k) * bd(k)
+		s.Priority = g.priority(op, m, 0, k)
+		s.Inputs = s.Inputs[:0]
+		s.Inputs = append(s.Inputs, g.inputSpec(k, k, s.Device, execInputFormat(s.Prec)))
+		s.Output = runtime.OutputSpec{Data: g.dataID(m, k), Bytes: g.storageBytes(m, k)}
+		remote := g.consumerSpread(s.Device, func(visit func(i, j int)) {
+			visit(m, m) // SYRK
+			for j := k + 1; j < m; j++ {
+				visit(m, j)
+			}
+			for i := m + 1; i < nt; i++ {
+				visit(i, m)
+			}
+		})
+		wp := g.wirePrec(m, k)
+		pub := &runtime.PublishSpec{
+			WireBytes:   g.wireBytes(m, k),
+			RemoteRanks: remote,
+		}
+		if wireFormat(wp) != wireFormat(g.maps.Storage[m][k]) {
+			pub.ConvertElems = int(bd(m) * bd(k))
+			pub.ConvFrom, pub.ConvTo = g.maps.Storage[m][k], wp
+		}
+		s.Publish = pub
+		s.Body = g.trsmBody(m, k)
+
+	case opSyrk:
+		s.Kind = hw.KindSyrk
+		s.Device = g.deviceOf(m, m)
+		s.Prec = g.maps.Kernel[m][m]
+		s.Flops = bd(m) * bd(m) * bd(k)
+		s.Priority = g.priority(op, m, 0, k)
+		s.Inputs = s.Inputs[:0]
+		s.Inputs = append(s.Inputs, g.inputSpec(m, k, s.Device, execInputFormat(s.Prec)))
+		s.Output = runtime.OutputSpec{Data: g.dataID(m, m), Bytes: g.storageBytes(m, m)}
+		s.Publish = nil
+		s.Body = g.syrkBody(m, k)
+
+	case opGemm:
+		s.Kind = hw.KindGemm
+		s.Device = g.deviceOf(m, n)
+		s.Prec = g.maps.Kernel[m][n]
+		s.Flops = 2 * bd(m) * bd(n) * bd(k)
+		s.Priority = g.priority(op, m, n, k)
+		s.Inputs = s.Inputs[:0]
+		inFmt := execInputFormat(s.Prec)
+		s.Inputs = append(s.Inputs,
+			g.inputSpec(m, k, s.Device, inFmt),
+			g.inputSpec(n, k, s.Device, inFmt))
+		s.Output = runtime.OutputSpec{Data: g.dataID(m, n), Bytes: g.storageBytes(m, n)}
+		s.Publish = nil
+		s.Body = g.gemmBody(m, n, k)
+	}
+}
+
+// inputSpec builds the InputSpec for reading tile (i,j) with the wire
+// format the automated conversion strategy chose for its producer: once a
+// tile is published, host memory holds the wire representation, so every
+// (re-)fetch — same device after eviction, another device of the rank, or a
+// remote rank — moves wire bytes. A receiver-side conversion is charged
+// when the wire format differs from the format the kernel consumes (the
+// per-consumer conversion STC saves and TTC pays, §VI).
+func (g *graph) inputSpec(i, j, dev int, needFmt prec.Precision) runtime.InputSpec {
+	in := runtime.InputSpec{
+		Data:      g.dataID(i, j),
+		WireBytes: g.wireBytes(i, j),
+	}
+	if wf := wireFormat(g.wirePrec(i, j)); wf != needFmt {
+		in.ConvertElems = g.desc.TileDim(i) * g.desc.TileDim(j)
+		in.ConvFrom, in.ConvTo = wf, needFmt
+	}
+	_ = dev
+	return in
+}
+
+// failed records the first numeric failure.
+func (g *graph) fail(err error) {
+	g.err.CompareAndSwap(nil, err)
+}
+
+// Err returns the first numeric failure of the run, if any.
+func (g *graph) Err() error {
+	if v := g.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+var _ runtime.Graph = (*graph)(nil)
+
+func (g *graph) validate() error {
+	if g.maps.NT != g.desc.NT {
+		return fmt.Errorf("cholesky: precision map NT=%d does not match descriptor NT=%d", g.maps.NT, g.desc.NT)
+	}
+	if g.mat != nil && g.mat.NT != g.desc.NT {
+		return fmt.Errorf("cholesky: matrix NT=%d does not match descriptor NT=%d", g.mat.NT, g.desc.NT)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Package cholesky implements the adaptive mixed-precision tile Cholesky
+// factorization of Algorithm 1 as a parameterized task graph over the
+// runtime engine: POTRF, TRSM, SYRK and GEMM task classes with algebraic
+// dependencies, per-tile kernel precisions from the precision map, and the
+// automated conversion strategy of Algorithm 2 deciding the wire format of
+// every communication (STC at the sender or TTC at the receiver).
+package cholesky
+
+import (
+	"fmt"
+	"math"
+)
+
+// Task kinds, in id-segment order.
+const (
+	opPotrf = iota
+	opTrsm
+	opSyrk
+	opGemm
+)
+
+// ids maps between task coordinates and dense integer ids:
+//
+//	POTRF(k)     for 0 ≤ k < NT
+//	TRSM(m,k)    for 0 ≤ k < m < NT
+//	SYRK(m,k)    for 0 ≤ k < m < NT
+//	GEMM(m,n,k)  for 0 ≤ k < n < m < NT
+//
+// GEMM triples use the combinatorial number system, so every mapping is
+// O(1) or O(log NT) with no stored tables — the PTG property that keeps
+// Summit-scale graphs (10⁷ tasks) in O(1) memory per task.
+type ids struct {
+	nt       int
+	pairs    int // NT(NT-1)/2
+	triples  int // C(NT,3)
+	trsmBase int
+	syrkBase int
+	gemmBase int
+	numTasks int
+}
+
+func newIDs(nt int) ids {
+	pairs := nt * (nt - 1) / 2
+	triples := nt * (nt - 1) * (nt - 2) / 6
+	return ids{
+		nt:       nt,
+		pairs:    pairs,
+		triples:  triples,
+		trsmBase: nt,
+		syrkBase: nt + pairs,
+		gemmBase: nt + 2*pairs,
+		numTasks: nt + 2*pairs + triples,
+	}
+}
+
+func pairIdx(m, k int) int { return m*(m-1)/2 + k }
+
+// unpair inverts pairIdx: returns (m, k) with k < m.
+func unpair(idx int) (m, k int) {
+	m = int((1 + math.Sqrt(float64(1+8*idx))) / 2)
+	for m*(m-1)/2 > idx {
+		m--
+	}
+	for (m+1)*m/2 <= idx {
+		m++
+	}
+	return m, idx - m*(m-1)/2
+}
+
+func c3(m int) int { return m * (m - 1) * (m - 2) / 6 }
+
+func tripleIdx(m, n, k int) int { return c3(m) + n*(n-1)/2 + k }
+
+// untriple inverts tripleIdx: returns (m, n, k) with k < n < m.
+func untriple(idx int) (m, n, k int) {
+	m = int(math.Cbrt(float64(6*idx))) + 1
+	for c3(m) > idx {
+		m--
+	}
+	for c3(m+1) <= idx {
+		m++
+	}
+	rem := idx - c3(m)
+	n, k = unpair(rem)
+	return m, n, k
+}
+
+func (s ids) potrf(k int) int      { return k }
+func (s ids) trsm(m, k int) int    { return s.trsmBase + pairIdx(m, k) }
+func (s ids) syrk(m, k int) int    { return s.syrkBase + pairIdx(m, k) }
+func (s ids) gemm(m, n, k int) int { return s.gemmBase + tripleIdx(m, n, k) }
+
+// decode returns the kind and coordinates of a task id. For POTRF only k is
+// meaningful; for TRSM/SYRK, (m, k); for GEMM, (m, n, k).
+func (s ids) decode(id int) (op, m, n, k int) {
+	switch {
+	case id < s.trsmBase:
+		return opPotrf, id, 0, id
+	case id < s.syrkBase:
+		m, k = unpair(id - s.trsmBase)
+		return opTrsm, m, 0, k
+	case id < s.gemmBase:
+		m, k = unpair(id - s.syrkBase)
+		return opSyrk, m, 0, k
+	case id < s.numTasks:
+		m, n, k = untriple(id - s.gemmBase)
+		return opGemm, m, n, k
+	}
+	panic(fmt.Sprintf("cholesky: task id %d out of range [0,%d)", id, s.numTasks))
+}

@@ -1,0 +1,30 @@
+package cholesky
+
+import (
+	"testing"
+
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/tile"
+)
+
+// BenchmarkPhantomLarge measures the engine's phantom-mode task throughput
+// on a 24-node/144-GPU platform with NT=120 (~300k tasks) — the figure that
+// bounds how long the Summit-scale Fig 12 simulations take.
+func BenchmarkPhantomLarge(b *testing.B) {
+	nt, ts := 120, 2048
+	d, _ := tile.NewDesc(nt*ts, ts, 4, 6)
+	maps := precmap.New(precmap.UniformAll(nt, prec.FP64), 0)
+	plat, _ := runtime.NewPlatform(hw.SummitNode, 24, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{Desc: d, Maps: maps, Platform: plat})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	b.ReportMetric(float64(nt*(nt+1)*(nt+2)/6)/b.Elapsed().Seconds()*float64(b.N), "tasks/s")
+}

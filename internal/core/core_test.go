@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"geompc/internal/geo"
+	"geompc/internal/prec"
+)
+
+func TestGenerateDataset(t *testing.T) {
+	ds, err := GenerateDataset(100, 2, SqExp2D(), []float64{1, 0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Locs) != 100 || len(ds.Z) != 100 {
+		t.Fatalf("dataset sizes wrong: %d locs, %d obs", len(ds.Locs), len(ds.Z))
+	}
+	// Reproducibility.
+	ds2, err := GenerateDataset(100, 2, SqExp2D(), []float64{1, 0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Z {
+		if ds.Z[i] != ds2.Z[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	// Wrong parameter count.
+	if _, err := GenerateDataset(10, 2, Matern2D(), []float64{1, 0.1}, 1); err == nil {
+		t.Error("Matern with 2 params accepted")
+	}
+}
+
+func TestFitEndToEnd(t *testing.T) {
+	ds, err := GenerateDataset(144, 2, SqExp2D(), []float64{1, 0.1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fit(ds, Options{UReq: 1e-9, TileSize: 36, MaxEvals: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Theta[1]-0.1) > 0.1 {
+		t.Errorf("beta estimate %g far from 0.1", rep.Theta[1])
+	}
+	if rep.Time <= 0 || rep.Energy <= 0 || rep.Evaluations == 0 {
+		t.Errorf("missing execution accounting: %+v", rep)
+	}
+	if len(rep.ParamNames) != 2 || rep.ParamNames[0] != "sigma2" {
+		t.Errorf("param names wrong: %v", rep.ParamNames)
+	}
+}
+
+func TestPredictEndToEnd(t *testing.T) {
+	ds, err := GenerateDataset(100, 2, SqExp2D(), []float64{1, 0.2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Predict(ds, []float64{1, 0.2}, []geo.Point{ds.Locs[7]}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-ds.Z[7]) > 1e-3 {
+		t.Errorf("prediction at observed point %g, want %g", got[0], ds.Z[7])
+	}
+}
+
+func TestProjectFactorization(t *testing.T) {
+	proj, err := ProjectFactorization(16384, SqExp2D(), []float64{1, 0.03}, Options{
+		UReq: 1e-4, TileSize: 1024, Machine: OneV100(),
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Time <= 0 || proj.Gflops <= 0 || proj.Energy <= 0 {
+		t.Errorf("empty projection: %+v", proj)
+	}
+	if proj.TilesByPrec[prec.FP64] == 0 {
+		t.Error("no FP64 tiles (diagonal must be FP64)")
+	}
+	// The MP run must beat pure FP64 on the same machine.
+	fp64, err := ProjectFactorization(16384, SqExp2D(), []float64{1, 0.03}, Options{
+		TileSize: 1024, Machine: OneV100(),
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Time >= fp64.Time {
+		t.Errorf("MP time %g not below FP64 %g", proj.Time, fp64.Time)
+	}
+	if proj.Energy >= fp64.Energy {
+		t.Errorf("MP energy %g not below FP64 %g", proj.Energy, fp64.Energy)
+	}
+}
+
+func TestMachines(t *testing.T) {
+	for _, m := range []Machine{OneV100(), OneA100(), OneH100(), Summit(4)} {
+		p, err := m.Platform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumDevices() == 0 {
+			t.Error("platform with no devices")
+		}
+	}
+	if p, _ := Summit(64).Platform(); p.NumDevices() != 384 {
+		t.Error("Summit(64) is not 384 GPUs")
+	}
+	// Zero-value machine defaults to one Summit node's worth of GPUs.
+	var m Machine
+	if _, err := m.Platform(); err != nil {
+		t.Errorf("zero machine rejected: %v", err)
+	}
+}
+
+func TestForceTTCSlower(t *testing.T) {
+	base := Options{UReq: 1e-2, TileSize: 2048, Machine: OneV100()}
+	stc, err := ProjectFactorization(32768, SqExp2D(), []float64{1, 0.01}, base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttcOpts := base
+	ttcOpts.ForceTTC = true
+	ttc, err := ProjectFactorization(32768, SqExp2D(), []float64{1, 0.01}, ttcOpts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stc.Time > ttc.Time {
+		t.Errorf("auto strategy %g slower than forced TTC %g", stc.Time, ttc.Time)
+	}
+}

@@ -1,0 +1,122 @@
+package fp16
+
+import "math"
+
+// Stochastic rounding support for Monte-Carlo arithmetic (§V of the paper:
+// the impact of reduced precision on an application is probed by evaluating
+// it under randomized rounding and measuring the output spread).
+
+// RoundStochastic rounds f to one of its two neighbouring binary16 values,
+// choosing the upper neighbour with probability proportional to f's
+// distance from the lower one; u must be uniform in [0, 1). Values exactly
+// representable (and non-finite values) are returned unchanged.
+func RoundStochastic(f float32, u float64) float32 {
+	if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+		return f
+	}
+	lo := truncToHalf(f)
+	if lo == f {
+		return f
+	}
+	hi := nextHalfAway(lo, f)
+	if math.Abs(float64(hi)) > HalfMax {
+		// Saturate rather than stochastically overflow.
+		return lo
+	}
+	p := (float64(f) - float64(lo)) / (float64(hi) - float64(lo))
+	if u < p {
+		return hi
+	}
+	return lo
+}
+
+// truncToHalf returns the binary16 value obtained by rounding f toward
+// zero (the "lower" neighbour in magnitude).
+func truncToHalf(f float32) float32 {
+	h := FromFloat32(f)
+	v := h.ToFloat32()
+	if v == f {
+		return v
+	}
+	// RNE may have rounded away from zero; step back if so.
+	if abs32(v) > abs32(f) {
+		return prevHalfTowardZero(h).ToFloat32()
+	}
+	return v
+}
+
+// nextHalfAway returns the binary16 neighbour of lo on the far side of f.
+func nextHalfAway(lo, f float32) float32 {
+	h := FromFloat32(lo)
+	if f > lo {
+		return nextHalfUp(h).ToFloat32()
+	}
+	return nextHalfDown(h).ToFloat32()
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// The binary16 bit layout makes magnitude-ordered stepping a simple
+// integer increment/decrement on the payload.
+
+func prevHalfTowardZero(h Half) Half {
+	if h&0x7fff == 0 {
+		return h // zero
+	}
+	return h - 1
+}
+
+func nextHalfUp(h Half) Half {
+	if h&0x8000 == 0 {
+		return h + 1 // positive: increment magnitude
+	}
+	if h == 0x8000 {
+		return 0x0000 // -0 -> +0... next up of -0 is +smallest? step to +0
+	}
+	return h - 1 // negative: decrement magnitude
+}
+
+func nextHalfDown(h Half) Half {
+	if h&0x8000 != 0 {
+		return h + 1 // negative: increment magnitude
+	}
+	if h == 0x0000 {
+		return 0x8001 // +0 -> smallest negative subnormal
+	}
+	return h - 1
+}
+
+// RoundStochastic64 applies stochastic binary16 rounding to a float64.
+func RoundStochastic64(f float64, u float64) float64 {
+	return float64(RoundStochastic(float32(f), u))
+}
+
+// RoundStochasticF32 rounds a float64 to a float32 neighbour stochastically
+// (for probing FP32-level storage quantization).
+func RoundStochasticF32(f float64, u float64) float64 {
+	lo32 := float32(f)
+	if float64(lo32) == f || math.IsNaN(f) || math.IsInf(f, 0) {
+		return float64(lo32)
+	}
+	var hi32 float32
+	if float64(lo32) < f {
+		hi32 = math.Nextafter32(lo32, float32(math.Inf(1)))
+	} else {
+		lo32, hi32 = math.Nextafter32(lo32, float32(math.Inf(-1))), lo32
+	}
+	if float64(lo32) > f || float64(hi32) < f {
+		// f outside [lo,hi] can only happen via rounding at the extremes;
+		// fall back to nearest.
+		return float64(float32(f))
+	}
+	p := (f - float64(lo32)) / (float64(hi32) - float64(lo32))
+	if u < p {
+		return float64(hi32)
+	}
+	return float64(lo32)
+}

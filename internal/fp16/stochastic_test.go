@@ -1,0 +1,93 @@
+package fp16
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestRoundStochasticBounds(t *testing.T) {
+	// The result must always be one of the two binary16 neighbours.
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 5000; i++ {
+		f := float32(rng.Float64()*200 - 100)
+		r := RoundStochastic(f, rng.Float64())
+		if RoundF32(r) != r {
+			t.Fatalf("result %g is not a binary16 value (input %g)", r, f)
+		}
+		// |r - f| must be below one half-precision ulp of f.
+		ulp := float32(math.Abs(float64(f))) * HalfEps * 2
+		if ulp < HalfSmallestSubnormal {
+			ulp = HalfSmallestSubnormal
+		}
+		if d := float32(math.Abs(float64(r - f))); d > ulp {
+			t.Fatalf("result %g too far from %g (d=%g, ulp=%g)", r, f, d, ulp)
+		}
+	}
+}
+
+func TestRoundStochasticExactValuesUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, f := range []float32{0, 1, -1, 0.5, 2048, HalfMax, -HalfMax} {
+		for i := 0; i < 10; i++ {
+			if got := RoundStochastic(f, rng.Float64()); got != f {
+				t.Fatalf("exact value %g changed to %g", f, got)
+			}
+		}
+	}
+	if !math.IsNaN(float64(RoundStochastic(float32(math.NaN()), 0.5))) {
+		t.Error("NaN not preserved")
+	}
+}
+
+func TestRoundStochasticUnbiased(t *testing.T) {
+	// E[round(f)] = f: the defining property of stochastic rounding.
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, f := range []float32{1.0001, -0.3333, 7.7, 1e-3} {
+		var sum float64
+		n := 60000
+		for i := 0; i < n; i++ {
+			sum += float64(RoundStochastic(f, rng.Float64()))
+		}
+		mean := sum / float64(n)
+		ulp := math.Abs(float64(f)) * HalfEps
+		if math.Abs(mean-float64(f)) > 0.03*ulp {
+			t.Errorf("biased rounding of %g: mean %g (off by %.3g ulp)",
+				f, mean, math.Abs(mean-float64(f))/ulp)
+		}
+	}
+}
+
+func TestRoundStochasticSaturation(t *testing.T) {
+	// Values above HalfMax must not stochastically overflow to Inf.
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 100; i++ {
+		r := RoundStochastic(65519.9, rng.Float64())
+		if math.IsInf(float64(r), 0) {
+			t.Fatal("stochastic rounding overflowed to Inf")
+		}
+	}
+}
+
+func TestRoundStochasticF32(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	f := 0.1 // not exactly representable in float32
+	var sum float64
+	n := 60000
+	for i := 0; i < n; i++ {
+		r := RoundStochasticF32(f, rng.Float64())
+		if float64(float32(r)) != r {
+			t.Fatal("result not a float32 value")
+		}
+		sum += r
+	}
+	mean := sum / float64(n)
+	ulp := math.Abs(f) * 0x1p-23
+	if math.Abs(mean-f) > 0.05*ulp {
+		t.Errorf("biased f32 rounding: mean off by %.3g ulp", math.Abs(mean-f)/ulp)
+	}
+	// Exactly representable values unchanged.
+	if RoundStochasticF32(0.5, 0.3) != 0.5 {
+		t.Error("exact value changed")
+	}
+}

@@ -1,0 +1,8 @@
+package geo
+
+import "geompc/internal/linalg"
+
+// potrfForSim wraps the FP64 POTRF for data simulation.
+func potrfForSim(n int, a []float64) error {
+	return linalg.PotrfLower(n, a, n)
+}

@@ -1,0 +1,20 @@
+// Package linalg implements the dense numerical kernels of the tile
+// Cholesky factorization — POTRF, TRSM, SYRK and GEMM — in native float64
+// and float32 arithmetic and in software-emulated GPU formats (TF32,
+// BF16_32, FP16_32, FP16).
+//
+// All matrices are dense row-major with an explicit leading dimension (row
+// stride), and triangular/symmetric kernels operate on the lower triangle,
+// matching the lower-variant tile Cholesky of Algorithm 1:
+//
+//	POTRF:  A[k][k] = chol(A[k][k])
+//	TRSM:   A[m][k] = A[m][k] · A[k][k]^{-T}
+//	SYRK:   A[m][m] -= A[m][k] · A[m][k]^T
+//	GEMM:   A[m][n] -= A[m][k] · A[n][k]^T
+//
+// Emulated formats store data in float64 slices whose values have been
+// quantized through the format's input representation (see internal/prec);
+// accumulation happens in genuine float32 (TF32/BF16_32/FP16_32) or in
+// binary16 with per-operation rounding (FP16), so the numerical error of a
+// kernel matches what the corresponding tensor-core kernel would commit.
+package linalg

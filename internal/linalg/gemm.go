@@ -1,0 +1,211 @@
+package linalg
+
+import (
+	"geompc/internal/fp16"
+	"geompc/internal/prec"
+)
+
+// GemmNT computes C = alpha*A*Bᵀ + beta*C in float64.
+// A is m×k (stride lda), B is n×k (stride ldb), C is m×n (stride ldc).
+// Because B enters transposed, the inner loop is a dot product of two
+// row-major rows, which is the cache-friendly orientation for the tile
+// Cholesky update A[m][n] -= A[m][k]·A[n][k]ᵀ.
+func GemmNT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*lda : i*lda+k]
+		ci := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+k]
+			var s float64
+			for l := 0; l < k; l++ {
+				s += ai[l] * bj[l]
+			}
+			if beta == 0 {
+				ci[j] = alpha * s // BLAS: C is not read when beta == 0
+			} else {
+				ci[j] = alpha*s + beta*ci[j]
+			}
+		}
+	}
+}
+
+// GemmNN computes C = alpha*A*B + beta*C in float64.
+// A is m×k, B is k×n, C is m×n. Used by the GEMM benchmark (Fig 1) and the
+// prediction path.
+func GemmNN(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range ci {
+				ci[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range ci {
+				ci[j] *= beta
+			}
+		}
+		ai := a[i*lda : i*lda+k]
+		for l := 0; l < k; l++ {
+			v := alpha * ai[l]
+			bl := b[l*ldb : l*ldb+n]
+			for j := 0; j < n; j++ {
+				ci[j] += v * bl[j]
+			}
+		}
+	}
+}
+
+// GemmNT32 computes C = alpha*A*Bᵀ + beta*C with genuine float32 arithmetic
+// over float64 storage: inputs are cast to float32, products and sums are
+// accumulated in float32, and the float32 result is stored back.
+func GemmNT32(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	af, bf := f32Scratch(m*k), f32Scratch(n*k)
+	defer putF32(af)
+	defer putF32(bf)
+	pack32(af, a, m, k, lda)
+	pack32(bf, b, n, k, ldb)
+	al, be := float32(alpha), float32(beta)
+	for i := 0; i < m; i++ {
+		ai := af[i*k : i*k+k]
+		ci := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			bj := bf[j*k : j*k+k]
+			var s float32
+			for l := 0; l < k; l++ {
+				s += ai[l] * bj[l]
+			}
+			if beta == 0 {
+				ci[j] = float64(al * s)
+			} else {
+				ci[j] = float64(al*s + be*float32(ci[j]))
+			}
+		}
+	}
+}
+
+// gemmNTQuant computes the NT product with inputs quantized element-wise by
+// rq (the format's input rounding) and float32 accumulation — the shared
+// body of the TF32, BF16_32 and FP16_32 emulations.
+func gemmNTQuant(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int, rq func(float32) float32) {
+	af, bf := f32Scratch(m*k), f32Scratch(n*k)
+	defer putF32(af)
+	defer putF32(bf)
+	packQuant(af, a, m, k, lda, rq)
+	packQuant(bf, b, n, k, ldb, rq)
+	al, be := float32(alpha), float32(beta)
+	for i := 0; i < m; i++ {
+		ai := af[i*k : i*k+k]
+		ci := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			bj := bf[j*k : j*k+k]
+			var s float32
+			for l := 0; l < k; l++ {
+				s += ai[l] * bj[l]
+			}
+			if beta == 0 {
+				ci[j] = float64(al * s)
+			} else {
+				ci[j] = float64(al*s + be*float32(ci[j]))
+			}
+		}
+	}
+}
+
+// GemmNTFP16x32 emulates the FP16_32 tensor-core GEMM: A and B quantized to
+// binary16, multiply-accumulate and C in float32.
+func GemmNTFP16x32(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	gemmNTQuant(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, fp16.RoundF32)
+}
+
+// GemmNTTF32 emulates the TF32 tensor-core GEMM: inputs quantized to TF32,
+// float32 accumulation.
+func GemmNTTF32(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	gemmNTQuant(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, fp16.TF32Round)
+}
+
+// GemmNTBF16x32 emulates the BF16_32 tensor-core GEMM: inputs quantized to
+// bfloat16, float32 accumulation.
+func GemmNTBF16x32(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	gemmNTQuant(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, fp16.BF16Round)
+}
+
+// GemmNTFP16 emulates the pure-FP16 GEMM: A, B and C in binary16 and the
+// accumulator rounded to binary16 after every fused multiply-add, matching
+// FP16-accumulate tensor-core mode.
+func GemmNTFP16(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	ah, bh := halfScratch(m*k), halfScratch(n*k)
+	defer putHalf(ah)
+	defer putHalf(bh)
+	packHalf(ah, a, m, k, lda)
+	packHalf(bh, b, n, k, ldb)
+	alh := fp16.FromFloat32(float32(alpha))
+	beh := fp16.FromFloat32(float32(beta))
+	for i := 0; i < m; i++ {
+		ai := ah[i*k : i*k+k]
+		ci := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			bj := bh[j*k : j*k+k]
+			var s fp16.Half // +0
+			for l := 0; l < k; l++ {
+				s = fp16.AddHalf(s, fp16.MulHalf(ai[l], bj[l]))
+			}
+			t := fp16.MulHalf(alh, s)
+			if beta == 0 {
+				ci[j] = float64(t.ToFloat32())
+			} else {
+				u := fp16.MulHalf(beh, fp16.FromFloat32(float32(ci[j])))
+				ci[j] = float64(fp16.AddHalf(t, u).ToFloat32())
+			}
+		}
+	}
+}
+
+// GemmNTPrec dispatches the NT GEMM to the kernel for precision p.
+func GemmNTPrec(p prec.Precision, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	switch p {
+	case prec.FP64:
+		GemmNT(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	case prec.FP32:
+		GemmNT32(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	case prec.TF32:
+		GemmNTTF32(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	case prec.BF16x32:
+		GemmNTBF16x32(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	case prec.FP16x32:
+		GemmNTFP16x32(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	case prec.FP16:
+		GemmNTFP16(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	default:
+		panic("linalg: invalid precision " + p.String())
+	}
+}
+
+func pack32(dst []float32, src []float64, rows, cols, ld int) {
+	for i := 0; i < rows; i++ {
+		row := src[i*ld : i*ld+cols]
+		out := dst[i*cols : i*cols+cols]
+		for j, v := range row {
+			out[j] = float32(v)
+		}
+	}
+}
+
+func packQuant(dst []float32, src []float64, rows, cols, ld int, rq func(float32) float32) {
+	for i := 0; i < rows; i++ {
+		row := src[i*ld : i*ld+cols]
+		out := dst[i*cols : i*cols+cols]
+		for j, v := range row {
+			out[j] = rq(float32(v))
+		}
+	}
+}
+
+func packHalf(dst []fp16.Half, src []float64, rows, cols, ld int) {
+	for i := 0; i < rows; i++ {
+		row := src[i*ld : i*ld+cols]
+		out := dst[i*cols : i*cols+cols]
+		for j, v := range row {
+			out[j] = fp16.FromFloat32(float32(v))
+		}
+	}
+}

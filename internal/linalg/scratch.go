@@ -1,0 +1,56 @@
+package linalg
+
+import (
+	"sync"
+
+	"geompc/internal/fp16"
+)
+
+// Scratch pools avoid per-kernel allocation churn: the mixed-precision
+// emulations pack their operands into typed staging buffers on every call,
+// which would otherwise dominate GC time for small tiles.
+
+var f32Pool = sync.Pool{New: func() any { s := make([]float32, 0, 4096); return &s }}
+
+func f32Scratch(n int) []float32 {
+	p := f32Pool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	return (*p)[:n]
+}
+
+func putF32(s []float32) {
+	s = s[:0]
+	f32Pool.Put(&s)
+}
+
+var halfPool = sync.Pool{New: func() any { s := make([]fp16.Half, 0, 4096); return &s }}
+
+func halfScratch(n int) []fp16.Half {
+	p := halfPool.Get().(*[]fp16.Half)
+	if cap(*p) < n {
+		*p = make([]fp16.Half, n)
+	}
+	return (*p)[:n]
+}
+
+func putHalf(s []fp16.Half) {
+	s = s[:0]
+	halfPool.Put(&s)
+}
+
+var f64Pool = sync.Pool{New: func() any { s := make([]float64, 0, 4096); return &s }}
+
+func f64Scratch(n int) []float64 {
+	p := f64Pool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return (*p)[:n]
+}
+
+func putF64(s []float64) {
+	s = s[:0]
+	f64Pool.Put(&s)
+}

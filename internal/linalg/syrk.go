@@ -1,0 +1,64 @@
+package linalg
+
+import "geompc/internal/prec"
+
+// SyrkLN computes C = alpha·A·Aᵀ + beta·C on the lower triangle of the n×n
+// matrix C (stride ldc), with A n×k (stride lda), in float64. This is the
+// diagonal-tile update A[m][m] -= A[m][k]·A[m][k]ᵀ of Algorithm 1 (alpha=-1,
+// beta=1).
+func SyrkLN(n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	for i := 0; i < n; i++ {
+		ai := a[i*lda : i*lda+k]
+		ci := c[i*ldc : i*ldc+i+1]
+		for j := 0; j <= i; j++ {
+			aj := a[j*lda : j*lda+k]
+			var s float64
+			for l := 0; l < k; l++ {
+				s += ai[l] * aj[l]
+			}
+			if beta == 0 {
+				ci[j] = alpha * s
+			} else {
+				ci[j] = alpha*s + beta*ci[j]
+			}
+		}
+	}
+}
+
+// SyrkLN32 is SyrkLN in genuine float32 arithmetic over float64 storage
+// (full-FP32 baseline only; the adaptive framework always runs SYRK in FP64
+// because it updates diagonal tiles).
+func SyrkLN32(n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	af := f32Scratch(n * k)
+	defer putF32(af)
+	pack32(af, a, n, k, lda)
+	al, be := float32(alpha), float32(beta)
+	for i := 0; i < n; i++ {
+		ai := af[i*k : i*k+k]
+		for j := 0; j <= i; j++ {
+			aj := af[j*k : j*k+k]
+			var s float32
+			for l := 0; l < k; l++ {
+				s += ai[l] * aj[l]
+			}
+			if beta == 0 {
+				c[i*ldc+j] = float64(al * s)
+			} else {
+				c[i*ldc+j] = float64(al*s + be*float32(c[i*ldc+j]))
+			}
+		}
+	}
+}
+
+// SyrkLNPrec dispatches the SYRK tile kernel for execution precision p
+// (FP64 or FP32).
+func SyrkLNPrec(p prec.Precision, n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	switch p {
+	case prec.FP64:
+		SyrkLN(n, k, alpha, a, lda, beta, c, ldc)
+	case prec.FP32:
+		SyrkLN32(n, k, alpha, a, lda, beta, c, ldc)
+	default:
+		panic("linalg: SYRK does not support precision " + p.String())
+	}
+}

@@ -1,0 +1,93 @@
+package linalg
+
+import "geompc/internal/prec"
+
+// TrsmRLT solves X·Aᵀ = B for X in place of B, in float64, where A is an
+// n×n lower-triangular matrix (stride lda; strict upper triangle not
+// referenced) and B is m×n (stride ldb). This is the BLAS dtrsm with side
+// Right, uplo Lower, transA Trans, diag NonUnit, alpha 1 — the tile update
+// A[m][k] = A[m][k]·A[k][k]^{-T} of Algorithm 1.
+func TrsmRLT(m, n int, a []float64, lda int, b []float64, ldb int) {
+	for i := 0; i < m; i++ {
+		bi := b[i*ldb : i*ldb+n]
+		for j := 0; j < n; j++ {
+			s := bi[j]
+			aj := a[j*lda : j*lda+j]
+			for l := range aj {
+				s -= bi[l] * aj[l]
+			}
+			bi[j] = s / a[j*lda+j]
+		}
+	}
+}
+
+// TrsmRLT32 is TrsmRLT computed in genuine float32 arithmetic over float64
+// storage. §V: tiles selected for FP16_32/FP16 GEMMs still run their TRSM in
+// FP32, because the considered GPUs only provide half-precision GEMM.
+func TrsmRLT32(m, n int, a []float64, lda int, b []float64, ldb int) {
+	af := f32Scratch(n * n)
+	defer putF32(af)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			af[i*n+j] = float32(a[i*lda+j])
+		}
+	}
+	bf := f32Scratch(n)
+	defer putF32(bf)
+	for i := 0; i < m; i++ {
+		bi := b[i*ldb : i*ldb+n]
+		for j, v := range bi {
+			bf[j] = float32(v)
+		}
+		for j := 0; j < n; j++ {
+			s := bf[j]
+			for l := 0; l < j; l++ {
+				s -= bf[l] * af[j*n+l]
+			}
+			bf[j] = s / af[j*n+j]
+		}
+		for j, v := range bf[:n] {
+			bi[j] = float64(v)
+		}
+	}
+}
+
+// TrsmRLTPrec dispatches the TRSM tile kernel for execution precision p.
+// Only FP64 and FP32 are legal (hardware constraint modeled from §V); lower
+// formats must have been mapped to FP32 by the precision map.
+func TrsmRLTPrec(p prec.Precision, m, n int, a []float64, lda int, b []float64, ldb int) {
+	switch p {
+	case prec.FP64:
+		TrsmRLT(m, n, a, lda, b, ldb)
+	case prec.FP32:
+		TrsmRLT32(m, n, a, lda, b, ldb)
+	default:
+		panic("linalg: TRSM does not support precision " + p.String())
+	}
+}
+
+// TrsvLNN solves L·x = b in place of b, where L is n×n lower triangular
+// (stride lda). Used by the log-likelihood term Zᵀ·Σ⁻¹·Z after the Cholesky
+// factorization.
+func TrsvLNN(n int, a []float64, lda int, b []float64) {
+	for i := 0; i < n; i++ {
+		s := b[i]
+		ai := a[i*lda : i*lda+i]
+		for l := range ai {
+			s -= ai[l] * b[l]
+		}
+		b[i] = s / a[i*lda+i]
+	}
+}
+
+// TrsvLTN solves Lᵀ·x = b in place of b, where L is n×n lower triangular.
+// Completes the two-solve path Σ⁻¹Z = L⁻ᵀ(L⁻¹Z) used for prediction.
+func TrsvLTN(n int, a []float64, lda int, b []float64) {
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for l := i + 1; l < n; l++ {
+			s -= a[l*lda+i] * b[l]
+		}
+		b[i] = s / a[i*lda+i]
+	}
+}

@@ -1,0 +1,14 @@
+package mle
+
+import (
+	"geompc/internal/hw"
+	"geompc/internal/linalg"
+)
+
+// hwSummit is the default node for likelihood evaluations (one V100).
+var hwSummit = hw.SummitNode
+
+// potrfDense and trsvDense are thin aliases keeping impact.go readable.
+func potrfDense(n int, a []float64) error { return linalg.PotrfLower(n, a, n) }
+
+func trsvDense(n int, a []float64, b []float64) { linalg.TrsvLNN(n, a, n, b) }

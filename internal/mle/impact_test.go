@@ -1,0 +1,57 @@
+package mle
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrecisionImpactMonotone(t *testing.T) {
+	// §V's Monte-Carlo arithmetic check: looser u_req (lower precisions)
+	// must perturb the likelihood more; exact FP64 must not perturb at all.
+	p, truth := testProblem(t, 100, 0)
+	rows, err := PrecisionImpact(p, truth, []float64{0, 1e-9, 1e-4, 1e-2}, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].MaxAbsDev != 0 || rows[0].Broken != 0 {
+		t.Errorf("exact FP64 perturbed the likelihood: %+v", rows[0])
+	}
+	// Impact (perturbation or SPD breakage) non-decreasing in u_req.
+	impact := func(r ImpactRow) float64 {
+		if r.Broken > 0 {
+			return math.Inf(1)
+		}
+		return r.MeanAbsDev
+	}
+	for i := 1; i < len(rows); i++ {
+		if impact(rows[i])+1e-12 < impact(rows[i-1]) {
+			t.Errorf("impact not monotone: u=%g gives %g after u=%g gave %g",
+				rows[i].UReq, impact(rows[i]), rows[i-1].UReq, impact(rows[i-1]))
+		}
+	}
+	// 1e-9 perturbs but only slightly; the loosest level must signal
+	// clearly (visible deviation or SPD breakage).
+	if rows[1].MeanAbsDev == 0 && rows[1].Broken == 0 {
+		t.Error("u_req=1e-9 produced no perturbation at all; probe is vacuous")
+	}
+	if rows[1].MeanAbsDev > 1 {
+		t.Errorf("u_req=1e-9 deviation %g too large for a validated level", rows[1].MeanAbsDev)
+	}
+	last := rows[len(rows)-1]
+	if last.MeanAbsDev == 0 && last.Broken == 0 {
+		t.Error("u_req=1e-2 produced zero impact; probe is vacuous")
+	}
+	if rows[0].Reference == 0 {
+		t.Error("missing reference likelihood")
+	}
+}
+
+func TestPrecisionImpactValidation(t *testing.T) {
+	p, truth := testProblem(t, 36, 0)
+	if _, err := PrecisionImpact(p, truth, []float64{0}, 0, 1); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package mle
+
+import (
+	"math"
+	"testing"
+
+	"geompc/internal/geo"
+	"geompc/internal/linalg"
+	"geompc/internal/optimize"
+	"geompc/internal/stats"
+)
+
+// denseNegLogLik is an independent reference implementation of −ℓ(θ).
+func denseNegLogLik(locs []geo.Point, z []float64, k geo.Kernel, theta []float64, nugget float64) float64 {
+	n := len(locs)
+	a := geo.CovMatrix(locs, k, theta, nugget)
+	if err := linalg.PotrfLower(n, a, n); err != nil {
+		return math.Inf(1)
+	}
+	logdet := 0.0
+	for i := 0; i < n; i++ {
+		logdet += math.Log(a[i*n+i])
+	}
+	logdet *= 2
+	y := append([]float64(nil), z...)
+	linalg.TrsvLNN(n, a, n, y)
+	quad := 0.0
+	for _, v := range y {
+		quad += v * v
+	}
+	return 0.5 * (float64(n)*math.Log(2*math.Pi) + logdet + quad)
+}
+
+func testProblem(t *testing.T, n int, ureq float64) (*Problem, []float64) {
+	t.Helper()
+	rng := stats.NewRNG(7, 0)
+	locs := geo.GenerateLocations(n, 2, rng)
+	k := geo.SqExp{Dimension: 2}
+	truth := []float64{1.0, 0.1}
+	z, err := geo.SimulateField(locs, k, truth, 1e-8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Problem{
+		Locs: locs, Z: z, Kernel: k, Nugget: 1e-8, TileSize: 32, UReq: ureq,
+	}, truth
+}
+
+func TestNegLogLikMatchesDense(t *testing.T) {
+	p, truth := testProblem(t, 100, 0) // exact FP64
+	got, err := p.NegLogLik(truth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := denseNegLogLik(p.Locs, p.Z, p.Kernel, truth, p.Nugget)
+	if math.Abs(got-want) > 1e-6*math.Abs(want) {
+		t.Errorf("NegLogLik = %.10g, dense reference %.10g", got, want)
+	}
+}
+
+func TestNegLogLikMPCloseToExact(t *testing.T) {
+	p, truth := testProblem(t, 100, 0)
+	exact, err := p.NegLogLik(truth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.UReq = 1e-9
+	tight, err := p.NegLogLik(truth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tight-exact) > 1e-3*math.Abs(exact)+0.5 {
+		t.Errorf("u_req=1e-9 likelihood %.8g too far from exact %.8g", tight, exact)
+	}
+}
+
+func TestNegLogLikMaximizedNearTruth(t *testing.T) {
+	// −ℓ at the truth must be below −ℓ at clearly wrong parameters.
+	p, truth := testProblem(t, 100, 0)
+	atTruth, _ := p.NegLogLik(truth, nil)
+	for _, wrong := range [][]float64{{0.2, 0.1}, {1.0, 0.9}, {1.9, 0.02}} {
+		v, _ := p.NegLogLik(wrong, nil)
+		if v <= atTruth {
+			t.Errorf("NLL(%v) = %g not above NLL(truth) = %g", wrong, v, atTruth)
+		}
+	}
+}
+
+func TestNegLogLikRejectsBadTheta(t *testing.T) {
+	p, _ := testProblem(t, 64, 0)
+	var rs RunStats
+	v, err := p.NegLogLik([]float64{-1, 0.1}, &rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(v, 1) {
+		t.Errorf("negative variance gave finite likelihood %g", v)
+	}
+	if rs.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", rs.Rejected)
+	}
+}
+
+func TestFitRecoversParameters(t *testing.T) {
+	p, truth := testProblem(t, 196, 0)
+	start, lo, hi := DefaultBounds(2)
+	fit, err := Fit(p, start, lo, hi, optimize.Options{Tol: 1e-9, MaxEvals: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One replica at n=196: expect rough recovery (MC sampling noise).
+	if math.Abs(fit.Theta[0]-truth[0]) > 0.5 {
+		t.Errorf("sigma2 estimate %g far from truth %g", fit.Theta[0], truth[0])
+	}
+	if math.Abs(fit.Theta[1]-truth[1]) > 0.1 {
+		t.Errorf("beta estimate %g far from truth %g", fit.Theta[1], truth[1])
+	}
+	if fit.Stats.Evaluations == 0 || fit.Stats.Time <= 0 || fit.Stats.Energy <= 0 {
+		t.Errorf("execution stats not accumulated: %+v", fit.Stats)
+	}
+}
+
+func TestFitMPMatchesExactFit(t *testing.T) {
+	// The paper's core claim: u_req=1e-9 estimation ≈ exact estimation.
+	pExact, _ := testProblem(t, 144, 0)
+	pMP, _ := testProblem(t, 144, 1e-9)
+	start, lo, hi := DefaultBounds(2)
+	fe, err := Fit(pExact, start, lo, hi, optimize.Options{Tol: 1e-9, MaxEvals: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := Fit(pMP, start, lo, hi, optimize.Options{Tol: 1e-9, MaxEvals: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The σ² direction of the sqexp likelihood is nearly flat, so compare
+	// optima by likelihood value under the exact model rather than by hard
+	// per-parameter distance.
+	for i := range fe.Theta {
+		if math.Abs(fe.Theta[i]-fm.Theta[i]) > 0.15 {
+			t.Errorf("param %d: exact %g vs MP@1e-9 %g", i, fe.Theta[i], fm.Theta[i])
+		}
+	}
+	atExact, _ := pExact.NegLogLik(fe.Theta, nil)
+	atMP, _ := pExact.NegLogLik(fm.Theta, nil)
+	if math.Abs(atExact-atMP) > 0.5 {
+		t.Errorf("MP optimum is %.3f worse in exact likelihood (%.4f vs %.4f)",
+			atMP-atExact, atMP, atExact)
+	}
+}
+
+func TestPredictInterpolates(t *testing.T) {
+	// Prediction at an observed location with negligible nugget must return
+	// (nearly) the observation itself.
+	p, truth := testProblem(t, 100, 0)
+	got, err := Predict(p, truth, []geo.Point{p.Locs[3], p.Locs[50]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-p.Z[3]) > 1e-4 || math.Abs(got[1]-p.Z[50]) > 1e-4 {
+		t.Errorf("kriging at observed points: got %v, want %g, %g", got, p.Z[3], p.Z[50])
+	}
+}
+
+func TestPredictErrorPropagation(t *testing.T) {
+	p, _ := testProblem(t, 36, 0)
+	if _, err := Predict(p, []float64{-1, 0.1}, []geo.Point{{X: 0.5, Y: 0.5}}); err == nil {
+		t.Error("Predict accepted non-SPD theta")
+	}
+}
+
+func TestMonteCarloSmall(t *testing.T) {
+	cfg := MCConfig{
+		Replicas: 4, N: 100, Dim: 2,
+		Kernel:    geo.SqExp{Dimension: 2},
+		TrueTheta: []float64{1, 0.1},
+		UReqs:     []float64{0, 1e-9},
+		Nugget:    1e-8, TileSize: 32, Seed: 11, MaxEvals: 250,
+	}
+	res, err := MonteCarlo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d result sets, want 2", len(res))
+	}
+	for _, r := range res {
+		if r.Failed > 0 {
+			t.Errorf("u_req=%g: %d replicas failed", r.UReq, r.Failed)
+		}
+		if len(r.Estimates[0]) != cfg.Replicas {
+			t.Fatalf("u_req=%g: %d estimates", r.UReq, len(r.Estimates[0]))
+		}
+		med := stats.Summarize(r.Estimates[1]).Median
+		if math.Abs(med-0.1) > 0.08 {
+			t.Errorf("u_req=%g: median beta %g far from 0.1", r.UReq, med)
+		}
+	}
+	// Exact and 1e-9 medians must be close to each other (Fig 5's message).
+	m0 := stats.Summarize(res[0].Estimates[1]).Median
+	m9 := stats.Summarize(res[1].Estimates[1]).Median
+	if math.Abs(m0-m9) > 0.03 {
+		t.Errorf("median beta: exact %g vs 1e-9 %g", m0, m9)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := MonteCarlo(MCConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	p := &Problem{Locs: make([]geo.Point, 3), Z: make([]float64, 2), Kernel: geo.SqExp{Dimension: 2}}
+	if _, err := p.NegLogLik([]float64{1, 1}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	p2 := &Problem{Locs: make([]geo.Point, 2), Z: make([]float64, 2), Kernel: geo.SqExp{Dimension: 2}}
+	if _, err := Fit(p2, []float64{1}, []float64{0}, []float64{2}, optimize.Options{}); err == nil {
+		t.Error("wrong start dimension accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package prec
+
+import "geompc/internal/fp16"
+
+// Quantize rounds every element of x through the input representation of
+// precision p, in place, and returns x. A tile "converted to FP16" for
+// communication is exactly its FP16-quantized values; converting back up is
+// lossless, so quantization is the complete numerical effect of a precision
+// down-cast.
+func Quantize(x []float64, p Precision) []float64 {
+	switch p {
+	case FP64:
+		return x
+	case FP32:
+		for i, v := range x {
+			x[i] = float64(float32(v))
+		}
+	case TF32:
+		for i, v := range x {
+			x[i] = float64(fp16.TF32Round(float32(v)))
+		}
+	case BF16x32:
+		for i, v := range x {
+			x[i] = float64(fp16.BF16Round(float32(v)))
+		}
+	case FP16x32, FP16:
+		for i, v := range x {
+			x[i] = fp16.Round(v)
+		}
+	default:
+		panic("prec: invalid precision " + p.String())
+	}
+	return x
+}
+
+// QuantizeCopy returns a fresh slice holding x quantized to p.
+func QuantizeCopy(x []float64, p Precision) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return Quantize(out, p)
+}
+
+// Bytes returns the number of bytes n elements occupy in precision p's
+// input representation.
+func Bytes(n int, p Precision) int64 { return int64(n) * int64(p.InputBytes()) }
+
+// QuantizeStochastic rounds every element of x to a neighbouring value of
+// precision p's input representation using stochastic rounding driven by
+// uniform — the Monte-Carlo arithmetic mode (§V) used to probe how much a
+// precision level perturbs an application. uniform must yield independent
+// U[0,1) variates. FP64 is an identity.
+func QuantizeStochastic(x []float64, p Precision, uniform func() float64) []float64 {
+	switch p {
+	case FP64:
+		return x
+	case FP32, TF32:
+		for i, v := range x {
+			x[i] = fp16.RoundStochasticF32(v, uniform())
+		}
+	case BF16x32, FP16x32, FP16:
+		for i, v := range x {
+			x[i] = fp16.RoundStochastic64(v, uniform())
+		}
+	default:
+		panic("prec: invalid precision " + p.String())
+	}
+	return x
+}

@@ -1,0 +1,180 @@
+package prec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	// The ladder must be strictly ordered by unit roundoff.
+	ladder := CholeskySet
+	for i := 1; i < len(ladder); i++ {
+		if !(ladder[i].Eps() > ladder[i-1].Eps()) {
+			t.Errorf("%v (eps=%g) not lower precision than %v (eps=%g)",
+				ladder[i], ladder[i].Eps(), ladder[i-1], ladder[i-1].Eps())
+		}
+	}
+	if !FP16.Lower(FP64) || FP64.Lower(FP16) {
+		t.Error("Lower comparison wrong for FP16/FP64")
+	}
+	if Higher(FP16, FP32) != FP32 || Higher(FP64, FP16x32) != FP64 {
+		t.Error("Higher selection wrong")
+	}
+	if Lowest(FP16, FP32) != FP16 || Lowest(FP64, FP64) != FP64 {
+		t.Error("Lowest selection wrong")
+	}
+}
+
+func TestInputBytes(t *testing.T) {
+	want := map[Precision]int{FP64: 8, FP32: 4, TF32: 4, BF16x32: 2, FP16x32: 2, FP16: 2}
+	for p, w := range want {
+		if got := p.InputBytes(); got != w {
+			t.Errorf("%v.InputBytes() = %d, want %d", p, got, w)
+		}
+	}
+	if Bytes(1024, FP16) != 2048 {
+		t.Error("Bytes(1024, FP16) != 2048")
+	}
+}
+
+func TestStoragePrecision(t *testing.T) {
+	// §V: FP16-family tiles are stored in FP32 because TRSM cannot run below
+	// FP32 on the considered hardware.
+	if FP64.StoragePrecision() != FP64 {
+		t.Error("FP64 storage must be FP64")
+	}
+	for _, p := range []Precision{FP32, FP16x32, FP16, TF32, BF16x32} {
+		if p.StoragePrecision() != FP32 {
+			t.Errorf("%v storage = %v, want FP32", p, p.StoragePrecision())
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	names := map[Precision]string{
+		FP64: "FP64", FP32: "FP32", TF32: "TF32",
+		BF16x32: "BF16_32", FP16x32: "FP16_32", FP16: "FP16",
+	}
+	for p, w := range names {
+		if p.String() != w {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), w)
+		}
+		if !p.Valid() {
+			t.Errorf("%v not Valid()", p)
+		}
+	}
+	if Precision(99).Valid() {
+		t.Error("Precision(99) reported Valid")
+	}
+}
+
+func TestQuantizeFP64IsIdentity(t *testing.T) {
+	x := []float64{1, math.Pi, -2.5e300, 3e-308}
+	y := QuantizeCopy(x, FP64)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Errorf("FP64 quantize changed x[%d]", i)
+		}
+	}
+}
+
+func TestQuantizeErrorBounds(t *testing.T) {
+	// For values in the representable range, |q(x)-x| <= 2*eps*|x| for each
+	// format (eps here is the table's u_low; factor 2 covers eps-vs-u
+	// convention).
+	formats := []Precision{FP32, TF32, BF16x32, FP16x32, FP16}
+	if err := quick.Check(func(v float64) bool {
+		x := math.Mod(v, 1000)
+		if math.Abs(x) < 1e-3 {
+			return true
+		}
+		for _, p := range formats {
+			q := QuantizeCopy([]float64{x}, p)[0]
+			if math.Abs(q-x) > 2*p.Eps()*math.Abs(x) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	if err := quick.Check(func(v float64) bool {
+		x := math.Mod(v, 60000)
+		for _, p := range All {
+			q1 := QuantizeCopy([]float64{x}, p)
+			q2 := QuantizeCopy(q1, p)
+			if q1[0] != q2[0] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeMonotonePrecision(t *testing.T) {
+	// Quantizing to a higher precision must never be worse than to a lower
+	// one on the Cholesky ladder.
+	xs := []float64{1.000244140625001, math.Pi, 0.1, 123.456, -7.89}
+	for _, x := range xs {
+		prevErr := 0.0
+		for _, p := range CholeskySet {
+			q := QuantizeCopy([]float64{x}, p)[0]
+			e := math.Abs(q - x)
+			if e+1e-18 < prevErr {
+				t.Errorf("x=%v: error at %v (%g) below previous ladder step (%g)", x, p, e, prevErr)
+			}
+			prevErr = e
+		}
+	}
+}
+
+func TestQuantizeStochastic(t *testing.T) {
+	// The upper neighbour is chosen when u < p (p = fractional position),
+	// so u=0 forces up for any interior point and u≈1 forces down.
+	g := func() float64 { return 0.999999 }
+	x := []float64{1 + 0x1p-13}
+	QuantizeStochastic(x, FP16, g)
+	if x[0] != 1 {
+		t.Errorf("forced round-down gave %v, want 1", x[0])
+	}
+	y := []float64{1 + 0x1p-13}
+	QuantizeStochastic(y, FP16, func() float64 { return 0 })
+	if y[0] != 1+0x1p-10 {
+		t.Errorf("forced round-up gave %v, want %v", y[0], 1+0x1p-10)
+	}
+	// FP64 identity.
+	z := []float64{math.Pi}
+	QuantizeStochastic(z, FP64, g)
+	if z[0] != math.Pi {
+		t.Error("FP64 stochastic quantize not identity")
+	}
+	// Results are representable in the target format.
+	rng := stats0()
+	w := make([]float64, 100)
+	for i := range w {
+		w[i] = rng()
+	}
+	QuantizeStochastic(w, FP32, rng)
+	for _, v := range w {
+		if float64(float32(v)) != v {
+			t.Fatal("FP32 stochastic result not a float32")
+		}
+	}
+}
+
+// stats0 returns a tiny deterministic uniform generator for tests.
+func stats0() func() float64 {
+	s := uint64(88172645463325252)
+	return func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%1000000) / 1000000
+	}
+}

@@ -1,0 +1,73 @@
+package precmap
+
+import (
+	"fmt"
+
+	"geompc/internal/prec"
+)
+
+// BandedKernelMap builds the band-based precision assignment of the prior
+// work the paper improves on (Abdulah et al., HiPC'19 / TPDS'21 — refs
+// [12], [13]): precision depends only on the tile's distance from the
+// diagonal, exploiting the band data-sparsity pattern of the covariance:
+//
+//	|i−j| ≤ fp64Band           → FP64
+//	|i−j| ≤ fp64Band+fp32Band  → FP32
+//	otherwise                  → low
+//
+// Unlike the norm-adaptive map, banding is blind to the actual correlation
+// decay, so it either over-spends precision (wide bands) or risks accuracy
+// (narrow bands) whenever the decay is anisotropic or the ordering is
+// imperfect — the ablation the bench package quantifies.
+func BandedKernelMap(nt, fp64Band, fp32Band int, low prec.Precision) ([][]prec.Precision, error) {
+	if fp64Band < 0 || fp32Band < 0 {
+		return nil, fmt.Errorf("precmap: negative band widths %d/%d", fp64Band, fp32Band)
+	}
+	if low == prec.FP64 || low == prec.FP32 {
+		return nil, fmt.Errorf("precmap: banded low precision must be a half format, got %v", low)
+	}
+	k := lowerTri[prec.Precision](nt)
+	for i := 0; i < nt; i++ {
+		for j := 0; j <= i; j++ {
+			switch d := i - j; {
+			case d <= fp64Band:
+				k[i][j] = prec.FP64
+			case d <= fp64Band+fp32Band:
+				k[i][j] = prec.FP32
+			default:
+				k[i][j] = low
+			}
+		}
+	}
+	return k, nil
+}
+
+// MatchBandsToMap returns the narrowest band widths whose banded map is at
+// least as precise as the reference map on every tile — the fair "same
+// accuracy guarantee" comparison point for the adaptive-vs-banded ablation.
+func MatchBandsToMap(ref [][]prec.Precision) (fp64Band, fp32Band int) {
+	nt := len(ref)
+	for i := 0; i < nt; i++ {
+		for j := 0; j <= i; j++ {
+			d := i - j
+			switch ref[i][j] {
+			case prec.FP64:
+				if d > fp64Band {
+					fp64Band = d
+				}
+			case prec.FP32:
+				if d > fp32Band {
+					fp32Band = d
+				}
+			}
+		}
+	}
+	// fp32Band is measured from the diagonal; convert to width beyond the
+	// FP64 band.
+	if fp32Band > fp64Band {
+		fp32Band -= fp64Band
+	} else {
+		fp32Band = 0
+	}
+	return fp64Band, fp32Band
+}

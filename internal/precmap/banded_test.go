@@ -1,0 +1,78 @@
+package precmap
+
+import (
+	"testing"
+
+	"geompc/internal/prec"
+)
+
+func TestBandedKernelMap(t *testing.T) {
+	k, err := BandedKernelMap(6, 1, 2, prec.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		i, j int
+		want prec.Precision
+	}{
+		{0, 0, prec.FP64}, {1, 0, prec.FP64}, // within fp64 band
+		{2, 0, prec.FP32}, {3, 0, prec.FP32}, // within fp32 band
+		{4, 0, prec.FP16}, {5, 0, prec.FP16}, // beyond
+		{5, 4, prec.FP64},
+	}
+	for _, c := range cases {
+		if got := k[c.i][c.j]; got != c.want {
+			t.Errorf("(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestBandedValidation(t *testing.T) {
+	if _, err := BandedKernelMap(4, -1, 0, prec.FP16); err == nil {
+		t.Error("negative band accepted")
+	}
+	if _, err := BandedKernelMap(4, 1, 1, prec.FP32); err == nil {
+		t.Error("FP32 as 'low' accepted")
+	}
+}
+
+func TestMatchBandsToMap(t *testing.T) {
+	// Adaptive-like map: FP64 up to distance 2 in one column only, FP32 up
+	// to distance 4.
+	nt := 8
+	ref := Uniform(nt, prec.FP16)
+	ref[2][0] = prec.FP64 // distance 2
+	ref[5][1] = prec.FP32 // distance 4
+	b64, b32 := MatchBandsToMap(ref)
+	if b64 != 2 {
+		t.Errorf("fp64 band %d, want 2", b64)
+	}
+	if b64+b32 != 4 {
+		t.Errorf("fp32 extent %d, want 4", b64+b32)
+	}
+	// The matched banded map must dominate the reference tile-wise.
+	banded, err := BandedKernelMap(nt, b64, b32, prec.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nt; i++ {
+		for j := 0; j <= i; j++ {
+			if banded[i][j].Eps() > ref[i][j].Eps() {
+				t.Errorf("banded (%d,%d)=%v less precise than reference %v",
+					i, j, banded[i][j], ref[i][j])
+			}
+		}
+	}
+}
+
+func TestMatchBandsAllFP32WithinFP64(t *testing.T) {
+	// FP32 tiles closer than the FP64 extent: fp32Band must be 0.
+	nt := 6
+	ref := Uniform(nt, prec.FP16)
+	ref[3][0] = prec.FP64 // distance 3
+	ref[1][0] = prec.FP32 // distance 1 < 3
+	b64, b32 := MatchBandsToMap(ref)
+	if b64 != 3 || b32 != 0 {
+		t.Errorf("bands %d/%d, want 3/0", b64, b32)
+	}
+}

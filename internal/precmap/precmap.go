@@ -1,0 +1,304 @@
+// Package precmap implements the paper's precision-selection machinery:
+//
+//   - the tile-centric kernel-precision map based on the Higham–Mary rule
+//     ‖A_ij‖·NT/‖A‖ ≤ u_req/u_low (§V),
+//   - the storage-precision map (FP16-family tiles stored in FP32, §V),
+//   - Algorithm 2: the communication-precision map that decides, per POTRF
+//     and TRSM task, whether sender-side conversion (STC) or receiver-side
+//     conversion (TTC) applies (§VI),
+//   - a location-aware sampled tile-norm estimator so precision maps can be
+//     computed at Summit scale without materializing the matrix (phantom
+//     mode).
+//
+// Reproduction note on Algorithm 2: the paper's pseudocode writes the row
+// broadcast check as "for n = k+1 to m", which would include tile (m,m) —
+// the DSYRK target that always executes in FP64 — and would therefore clamp
+// every TRSM's communication precision to its storage precision, making STC
+// unreachable. That contradicts §VI's own Fig 4, where TRSM tasks do apply
+// STC. We therefore read the row bound as exclusive (n = k+1 .. m−1, GEMM
+// successors only) and account for the always-FP64 SYRK successor by
+// initializing the TRSM tile's communication precision at the tile's *own*
+// kernel precision rather than FP16: the Higham–Mary rule already certifies
+// that tile's data at that precision, so the SYRK update — whose error is
+// ‖A_mk‖²·u_wire, second order in the bounded tile norm — stays within the
+// u_req budget, while genuinely low-norm tiles still down-cast to FP16.
+package precmap
+
+import (
+	"fmt"
+	"math"
+
+	"geompc/internal/geo"
+	"geompc/internal/prec"
+	"geompc/internal/stats"
+	"geompc/internal/tile"
+)
+
+// Maps bundles the three per-tile precision maps of a factorization. All
+// maps cover the lower triangle: index [i][j] with j ≤ i.
+type Maps struct {
+	NT      int
+	UReq    float64            // application-required accuracy u_req
+	Kernel  [][]prec.Precision // precision of the numerical kernel on each tile
+	Storage [][]prec.Precision // precision each tile is generated/stored in
+	Comm    [][]prec.Precision // Algorithm 2: precision of communications issued by the task on each tile
+	STC     [][]bool           // true where sender-side conversion applies (comm < storage)
+}
+
+// lowerTri allocates a lower-triangular [][]T.
+func lowerTri[T any](nt int) [][]T {
+	m := make([][]T, nt)
+	for i := range m {
+		m[i] = make([]T, i+1)
+	}
+	return m
+}
+
+// SelectPrecision returns the lowest precision on the ladder (ordered
+// highest first) whose unit roundoff satisfies the Higham–Mary rule for a
+// tile with the given norm ratio r = ‖A_ij‖·NT/‖A‖: r ≤ u_req/u_low.
+// The first ladder entry is the fallback when no reduction is admissible.
+func SelectPrecision(ratio, ureq float64, ladder []prec.Precision) prec.Precision {
+	if len(ladder) == 0 {
+		panic("precmap: empty precision ladder")
+	}
+	best := ladder[0]
+	for _, p := range ladder {
+		if ratio <= ureq/p.Eps() {
+			best = p
+		}
+	}
+	return best
+}
+
+// NewKernelMap builds the kernel-precision map for an NT×NT tiling from a
+// per-tile Frobenius-norm oracle and the global norm. Diagonal tiles are
+// pinned to FP64 (strongest correlations, §V); off-diagonal tiles take the
+// lowest admissible precision from ladder.
+func NewKernelMap(nt int, norm func(i, j int) float64, globalNorm, ureq float64, ladder []prec.Precision) [][]prec.Precision {
+	if globalNorm <= 0 {
+		panic(fmt.Sprintf("precmap: non-positive global norm %g", globalNorm))
+	}
+	k := lowerTri[prec.Precision](nt)
+	for i := 0; i < nt; i++ {
+		k[i][i] = prec.FP64
+		for j := 0; j < i; j++ {
+			ratio := norm(i, j) * float64(nt) / globalNorm
+			k[i][j] = SelectPrecision(ratio, ureq, ladder)
+		}
+	}
+	return k
+}
+
+// New derives the full Maps (storage map, Algorithm 2 comm map, STC flags)
+// from a kernel-precision map.
+func New(kernel [][]prec.Precision, ureq float64) *Maps {
+	nt := len(kernel)
+	m := &Maps{
+		NT:      nt,
+		UReq:    ureq,
+		Kernel:  kernel,
+		Storage: lowerTri[prec.Precision](nt),
+		Comm:    lowerTri[prec.Precision](nt),
+		STC:     lowerTri[bool](nt),
+	}
+	for i := 0; i < nt; i++ {
+		for j := 0; j <= i; j++ {
+			m.Storage[i][j] = kernel[i][j].StoragePrecision()
+		}
+	}
+	m.buildCommMap()
+	return m
+}
+
+// buildCommMap is Algorithm 2. For each diagonal tile (k,k), the POTRF
+// broadcast precision starts at FP32 (TRSM never runs below FP32) and is
+// raised to FP64 if any successor TRSM in column k runs in FP64. For each
+// off-diagonal tile (m,k), the TRSM broadcast precision starts at the
+// tile's own kernel precision (covering the SYRK successor's consumption;
+// see package comment) and is raised by the kernel precisions of the
+// row-broadcast GEMMs (m,n), n = k+1..m−1 and the column-broadcast GEMMs
+// (n,m), n = m+1..NT−1, clamped at the tile's storage precision (TTC) as
+// soon as it is reached.
+func (m *Maps) buildCommMap() {
+	nt := m.NT
+	// Diagonal tiles: POTRF(k,k) broadcasts to TRSMs in column k.
+	for k := 0; k < nt; k++ {
+		c := prec.FP32
+		for i := k + 1; i < nt; i++ {
+			if m.Kernel[i][k] == prec.FP64 {
+				c = prec.FP64
+				break
+			}
+		}
+		if k == nt-1 {
+			// No successors; the tile issues no communication. Record
+			// storage precision for uniformity.
+			c = prec.FP64
+		}
+		m.Comm[k][k] = c
+		m.STC[k][k] = c.Lower(m.Storage[k][k])
+	}
+	// Off-diagonal tiles: TRSM(m,k) broadcasts to GEMMs in row m and
+	// column m. The floor is the tile's own kernel precision, which bounds
+	// the SYRK consumer's error (see package comment).
+	for k := 0; k <= nt-2; k++ {
+		for i := k + 1; i < nt; i++ {
+			storage := m.Storage[i][k]
+			c := prec.Higher(m.Kernel[i][k], prec.FP16)
+			done := !c.Lower(storage)
+			if done {
+				c = storage
+			}
+			for n := k + 1; n < i && !done; n++ { // row broadcast
+				c = prec.Higher(c, m.Kernel[i][n])
+				if !c.Lower(storage) {
+					c = storage
+					done = true
+				}
+			}
+			for n := i + 1; n < nt && !done; n++ { // column broadcast
+				c = prec.Higher(c, m.Kernel[n][i])
+				if !c.Lower(storage) {
+					c = storage
+					done = true
+				}
+			}
+			m.Comm[i][k] = c
+			m.STC[i][k] = c.Lower(storage)
+		}
+	}
+}
+
+// Counts returns the number of lower-triangle tiles whose kernel executes
+// in each precision — the percentages annotated on Fig 7.
+func (m *Maps) Counts() map[prec.Precision]int {
+	c := make(map[prec.Precision]int)
+	for i := 0; i < m.NT; i++ {
+		for j := 0; j <= i; j++ {
+			c[m.Kernel[i][j]]++
+		}
+	}
+	return c
+}
+
+// Fractions returns Counts normalized by the lower-triangle tile count.
+func (m *Maps) Fractions() map[prec.Precision]float64 {
+	total := float64(m.NT * (m.NT + 1) / 2)
+	out := make(map[prec.Precision]float64)
+	for p, n := range m.Counts() {
+		out[p] = float64(n) / total
+	}
+	return out
+}
+
+// STCCount returns how many tasks (POTRF and TRSM, one per lower tile
+// except the last diagonal) apply sender-side conversion.
+func (m *Maps) STCCount() (stc, total int) {
+	for i := 0; i < m.NT; i++ {
+		for j := 0; j <= i; j++ {
+			if i == j && i == m.NT-1 {
+				continue // final POTRF issues no communication
+			}
+			total++
+			if m.STC[i][j] {
+				stc++
+			}
+		}
+	}
+	return stc, total
+}
+
+// Uniform returns a kernel map with FP64 on the diagonal and p on all
+// off-diagonal tiles — the two-precision extremes (FP64/FP16_32,
+// FP64/FP16) benchmarked in Fig 8, or full FP64/FP32 baselines when
+// p is FP64/FP32.
+func Uniform(nt int, p prec.Precision) [][]prec.Precision {
+	k := lowerTri[prec.Precision](nt)
+	for i := 0; i < nt; i++ {
+		k[i][i] = prec.FP64
+		for j := 0; j < i; j++ {
+			k[i][j] = p
+		}
+	}
+	return k
+}
+
+// UniformAll returns a kernel map with p everywhere, including the
+// diagonal — the pure FP64/FP32 baselines.
+func UniformAll(nt int, p prec.Precision) [][]prec.Precision {
+	k := lowerTri[prec.Precision](nt)
+	for i := 0; i < nt; i++ {
+		for j := 0; j <= i; j++ {
+			k[i][j] = p
+		}
+	}
+	return k
+}
+
+// FromMatrix computes exact tile norms from a numeric tiled matrix and
+// returns the kernel map for the given required accuracy.
+func FromMatrix(m *tile.Matrix, ureq float64, ladder []prec.Precision) [][]prec.Precision {
+	norms, global := m.TileNorms()
+	return NewKernelMap(m.NT, func(i, j int) float64 {
+		return norms[i*(i+1)/2+j]
+	}, global, ureq, ladder)
+}
+
+// EstimateTileNorms estimates the Frobenius norm of every lower tile of the
+// covariance matrix Σ(θ) over locs — without materializing any tile — by
+// sampling `samples` entries per tile and scaling by the tile area. It
+// returns a norm oracle and the implied global norm. This powers precision
+// maps at Summit scale (Fig 7's 409,600² matrix has 84·10⁹ entries; 256
+// samples per tile need only ~5·10⁶ kernel evaluations).
+func EstimateTileNorms(locs []geo.Point, d tile.Desc, k geo.Kernel, theta []float64, nugget float64, samples int, rng *stats.RNG) (norm func(i, j int) float64, global float64) {
+	nt := d.NT
+	norms := lowerTri[float64](nt)
+	var ss float64
+	for i := 0; i < nt; i++ {
+		for j := 0; j <= i; j++ {
+			m, n := d.TileDim(i), d.TileDim(j)
+			r0, c0 := i*d.TS, j*d.TS
+			var sumsq float64
+			cnt := samples
+			if m*n <= samples {
+				// Small tile: exact.
+				cnt = m * n
+				for a := 0; a < m; a++ {
+					for b := 0; b < n; b++ {
+						v := covEntry(locs, r0+a, c0+b, k, theta, nugget)
+						sumsq += v * v
+					}
+				}
+			} else {
+				for s := 0; s < samples; s++ {
+					a, b := rng.IntN(m), rng.IntN(n)
+					v := covEntry(locs, r0+a, c0+b, k, theta, nugget)
+					sumsq += v * v
+				}
+			}
+			est := sumsq / float64(cnt) * float64(m*n)
+			norms[i][j] = sqrt64(est)
+			if i == j {
+				ss += est
+			} else {
+				ss += 2 * est
+			}
+		}
+	}
+	return func(i, j int) float64 { return norms[i][j] }, sqrt64(ss)
+}
+
+func covEntry(locs []geo.Point, gi, gj int, k geo.Kernel, theta []float64, nugget float64) float64 {
+	if gi == gj {
+		return k.Cov(0, theta) + nugget
+	}
+	return k.Cov(locs[gi].Dist(locs[gj]), theta)
+}
+
+func sqrt64(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,457 @@
+package runtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	gort "runtime"
+
+	"geompc/internal/hw"
+)
+
+// Engine executes a Graph on a Platform, producing virtual-time statistics
+// and (when task bodies are present) real numeric results.
+type Engine struct {
+	plat *Platform
+	g    Graph
+
+	// Trace enables per-interval power/occupancy recording on all devices
+	// (used by the Fig 9/10 experiments; costs memory on large runs).
+	Trace bool
+
+	// Lookahead is the number of tasks each device pipeline accepts ahead
+	// of execution (stream double-buffering). Default 2.
+	Lookahead int
+
+	devices   []*device
+	nicFree   []float64
+	hostAvail map[hostKey]float64
+	pending   []int32
+	events    eventHeap
+	seq       int64
+	now       float64
+	succBuf   []int
+	inflight  int
+	done      int
+	dirtyDevs []int
+
+	workers *workerPool
+
+	schedule []ScheduledTask
+
+	stats Stats
+}
+
+// ScheduledTask records one task's placement in the simulated schedule
+// (recorded only when Trace is enabled).
+type ScheduledTask struct {
+	ID         int
+	Kind       hw.KernelKind
+	Device     int
+	Start, End float64
+}
+
+type hostKey struct {
+	rank int
+	data DataID
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	// Makespan is the virtual time from start to the last task completion.
+	Makespan float64
+	// TotalFlops across all tasks.
+	TotalFlops float64
+	// Performance in flop/s (TotalFlops / Makespan).
+	Flops float64
+	// Data motion totals.
+	BytesH2D, BytesD2H, BytesNet int64
+	// Conversion counts: sender-side (STC) and receiver-side (TTC).
+	SenderConversions, ReceiverConversions int
+	// Energy in joules: dynamic compute + transfer + idle over makespan,
+	// summed over all devices.
+	Energy float64
+	// AvgPower = Energy / Makespan.
+	AvgPower float64
+	// Tasks executed.
+	Tasks int
+	// Per-device aggregates.
+	Devices []DeviceStats
+}
+
+// event is a completion notice in virtual time.
+type event struct {
+	at   float64
+	seq  int64
+	task *flight
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// taskHeap orders ready tasks by descending priority, then ascending id —
+// a total order, which keeps the simulation deterministic.
+type taskHeap []*TaskSpec
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].ID < h[j].ID
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*TaskSpec)) }
+func (h *taskHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+
+// flight is a committed task awaiting its completion event.
+type flight struct {
+	spec   *TaskSpec
+	end    float64
+	result chan struct{} // closed when the numeric body finishes
+}
+
+// New prepares an engine for one run of g on plat.
+func New(plat *Platform, g Graph) *Engine {
+	return &Engine{plat: plat, g: g, Lookahead: 2}
+}
+
+// Run executes the task system to completion and returns the run's
+// statistics. It panics on malformed graphs (missing data, dependency
+// cycles leave tasks unexecuted and are reported as an error).
+func (e *Engine) Run() (Stats, error) {
+	n := e.g.NumTasks()
+	e.devices = make([]*device, e.plat.NumDevices())
+	for i := range e.devices {
+		e.devices[i] = newDevice(i, e.plat.RankOfDevice(i), e.plat.Node.GPU, e.Trace)
+	}
+	e.nicFree = make([]float64, e.plat.Ranks)
+	e.hostAvail = make(map[hostKey]float64)
+	e.pending = make([]int32, n)
+	e.events = e.events[:0]
+	e.now, e.seq, e.inflight, e.done = 0, 0, 0, 0
+	e.stats = Stats{}
+	e.schedule = e.schedule[:0]
+	e.workers = newWorkerPool(gort.GOMAXPROCS(0))
+	defer e.workers.close()
+
+	e.g.InitialData(func(d DataID, rank int) {
+		e.hostAvail[hostKey{rank, d}] = 0
+	})
+
+	for id := 0; id < n; id++ {
+		e.pending[id] = int32(e.g.NumPredecessors(id))
+		if e.pending[id] == 0 {
+			e.enqueueReady(id)
+		}
+	}
+	for i := range e.devices {
+		e.tryCommit(e.devices[i])
+	}
+
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.complete(ev.task)
+	}
+
+	if e.done != n {
+		return Stats{}, fmt.Errorf("runtime: %d of %d tasks never became ready (dependency cycle or missing data)", n-e.done, n)
+	}
+	e.finalizeStats()
+	return e.stats, nil
+}
+
+func (e *Engine) enqueueReady(id int) int {
+	spec := &TaskSpec{}
+	e.g.Spec(id, spec)
+	spec.ID = id
+	if spec.Device < 0 || spec.Device >= len(e.devices) {
+		panic(fmt.Sprintf("runtime: task %d assigned to invalid device %d", id, spec.Device))
+	}
+	d := e.devices[spec.Device]
+	heap.Push(d.ready, spec)
+	return d.id
+}
+
+// tryCommit feeds the device's stream pipeline up to the lookahead depth.
+func (e *Engine) tryCommit(d *device) {
+	for d.committed < e.Lookahead && d.ready.Len() > 0 {
+		spec := heap.Pop(d.ready).(*TaskSpec)
+		e.commit(d, spec)
+	}
+}
+
+// commit stages a task's data onto the device and schedules its execution.
+func (e *Engine) commit(d *device, spec *TaskSpec) {
+	stagingEnd := e.now
+	var sink evictSink
+
+	stage := func(data DataID, bytes int64, isOutput bool) {
+		if entry := d.touch(data); entry != nil {
+			d.pin(data)
+			if isOutput {
+				entry.hostCopy = false // it is about to be overwritten
+			}
+			return
+		}
+		avail, ok := e.hostAvail[hostKey{d.rank, data}]
+		if !ok {
+			if isOutput {
+				// Fresh output with no prior contents: allocate only.
+				d.insert(data, bytes, false, e.now, &sink)
+				d.pin(data)
+				return
+			}
+			panic(fmt.Sprintf("runtime: task %d input %d not available at rank %d", spec.ID, data, d.rank))
+		}
+		start := math.Max(d.h2dFree, math.Max(avail, e.now))
+		dur := d.spec.H2DTime(bytes)
+		d.h2dFree = start + dur
+		d.stats.BytesH2D += bytes
+		d.stats.TransferTime += dur
+		if d.trace {
+			d.xferIntervals = append(d.xferIntervals, Interval{start, start + dur, d.spec.TransferW})
+		}
+		d.stats.DynEnergy += d.spec.TransferW * dur
+		if start+dur > stagingEnd {
+			stagingEnd = start + dur
+		}
+		d.insert(data, bytes, !isOutput, e.now, &sink)
+		d.pin(data)
+	}
+
+	for i := range spec.Inputs {
+		in := &spec.Inputs[i]
+		stage(in.Data, in.WireBytes, false)
+	}
+	if spec.Output.Data >= 0 {
+		stage(spec.Output.Data, spec.Output.Bytes, true)
+	}
+	e.drainWritebacks(d, &sink)
+
+	// Receiver-side conversions run on the compute stream before the kernel.
+	var convDur float64
+	for i := range spec.Inputs {
+		in := &spec.Inputs[i]
+		if in.ConvertElems > 0 {
+			convDur += d.spec.ConvertTime(in.ConvertElems, in.ConvFrom, in.ConvTo)
+			e.stats.ReceiverConversions++
+			d.stats.ConvertKernels++
+		}
+	}
+
+	kernelDur := 0.0
+	if spec.Flops > 0 {
+		kernelDur = d.spec.KernelTime(spec.Kind, spec.Prec, spec.Flops)
+	}
+	start := math.Max(d.computeFree, stagingEnd)
+	end := start + convDur + kernelDur
+	d.computeFree = end
+	d.committed++
+
+	d.stats.BusyTime += convDur + kernelDur
+	d.stats.Flops += spec.Flops
+	dynW := d.spec.DynPower(spec.Prec)
+	d.stats.DynEnergy += dynW*kernelDur + convPowerFrac*(d.spec.TDP-d.spec.IdleW)*convDur
+	if d.trace {
+		d.busyIntervals = append(d.busyIntervals, Interval{start, end, dynW})
+		e.schedule = append(e.schedule, ScheduledTask{
+			ID: spec.ID, Kind: spec.Kind, Device: spec.Device, Start: start, End: end,
+		})
+	}
+
+	f := &flight{spec: spec, end: end}
+	if spec.Body != nil {
+		f.result = make(chan struct{})
+		e.workers.submit(func() {
+			spec.Body()
+			close(f.result)
+		})
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: end, seq: e.seq, task: f})
+	e.inflight++
+}
+
+// convPowerFrac is the fraction of the dynamic power range a datatype
+// conversion kernel draws (memory-bound, low arithmetic intensity).
+const convPowerFrac = 0.25
+
+// drainWritebacks turns evicted dirty tiles into D2H transfers and restores
+// their host copies.
+func (e *Engine) drainWritebacks(d *device, sink *evictSink) {
+	for _, wb := range sink.writebacks {
+		start := math.Max(d.d2hFree, e.now)
+		dur := d.spec.D2HTime(wb.bytes)
+		d.d2hFree = start + dur
+		d.stats.BytesD2H += wb.bytes
+		d.stats.TransferTime += dur
+		d.stats.DynEnergy += d.spec.TransferW * dur
+		e.hostAvail[hostKey{d.rank, wb.data}] = start + dur
+	}
+	sink.writebacks = sink.writebacks[:0]
+}
+
+// complete processes a task's completion event: joins the numeric body,
+// publishes the output, and releases successors.
+func (e *Engine) complete(f *flight) {
+	spec := f.spec
+	d := e.devices[spec.Device]
+	if f.result != nil {
+		<-f.result
+	}
+
+	for i := range spec.Inputs {
+		d.unpin(spec.Inputs[i].Data)
+	}
+	if spec.Output.Data >= 0 {
+		d.unpin(spec.Output.Data)
+	}
+
+	if p := spec.Publish; p != nil {
+		e.publish(d, spec, p)
+	}
+
+	e.done++
+	e.inflight--
+	d.committed--
+	e.stats.Tasks++
+	e.stats.TotalFlops += spec.Flops
+
+	e.succBuf = e.g.Successors(spec.ID, e.succBuf[:0])
+	e.dirtyDevs = e.dirtyDevs[:0]
+	e.dirtyDevs = append(e.dirtyDevs, d.id)
+	for _, s := range e.succBuf {
+		e.pending[s]--
+		switch {
+		case e.pending[s] == 0:
+			dev := e.enqueueReady(s)
+			e.dirtyDevs = append(e.dirtyDevs, dev)
+		case e.pending[s] < 0:
+			panic(fmt.Sprintf("runtime: task %d released more than its in-degree", s))
+		}
+	}
+	// Feed the pipelines of every device that finished a task or gained a
+	// ready one.
+	for _, di := range e.dirtyDevs {
+		e.tryCommit(e.devices[di])
+	}
+}
+
+// publish performs STC conversion, D2H, and the network broadcast of a
+// task's output, making it available in host memory at consumer ranks.
+func (e *Engine) publish(d *device, spec *TaskSpec, p *PublishSpec) {
+	t := e.now
+	if p.ConvertElems > 0 {
+		// Sender-side conversion on the producer's compute stream.
+		dur := d.spec.ConvertTime(p.ConvertElems, p.ConvFrom, p.ConvTo)
+		start := math.Max(d.computeFree, t)
+		d.computeFree = start + dur
+		t = start + dur
+		d.stats.BusyTime += dur
+		d.stats.DynEnergy += convPowerFrac * (d.spec.TDP - d.spec.IdleW) * dur
+		d.stats.ConvertKernels++
+		e.stats.SenderConversions++
+		if d.trace {
+			d.busyIntervals = append(d.busyIntervals, Interval{start, t, convPowerFrac * (d.spec.TDP - d.spec.IdleW)})
+		}
+	}
+	// D2H of the wire representation.
+	start := math.Max(d.d2hFree, t)
+	dur := d.spec.D2HTime(p.WireBytes)
+	d.d2hFree = start + dur
+	hostAt := start + dur
+	d.stats.BytesD2H += p.WireBytes
+	d.stats.TransferTime += dur
+	d.stats.DynEnergy += d.spec.TransferW * dur
+	if d.trace {
+		d.xferIntervals = append(d.xferIntervals, Interval{start, hostAt, d.spec.TransferW})
+	}
+	e.hostAvail[hostKey{d.rank, spec.Output.Data}] = hostAt
+	if entry := d.resident[spec.Output.Data]; entry != nil {
+		entry.hostCopy = true
+	}
+
+	if len(p.RemoteRanks) > 0 {
+		// Binomial-tree broadcast: the sender's NIC is occupied for one
+		// hop; every receiver has the data after ceil(log2(n+1)) hops.
+		hop := e.plat.Node.NetLat + float64(p.WireBytes)/e.plat.Node.NetBw
+		nstart := math.Max(e.nicFree[d.rank], hostAt)
+		e.nicFree[d.rank] = nstart + hop
+		hops := math.Ceil(math.Log2(float64(len(p.RemoteRanks)) + 1))
+		arrival := nstart + hop*hops
+		for _, rr := range p.RemoteRanks {
+			e.hostAvail[hostKey{rr, spec.Output.Data}] = arrival
+			e.stats.BytesNet += p.WireBytes
+		}
+	}
+}
+
+func (e *Engine) finalizeStats() {
+	var makespan float64
+	for _, d := range e.devices {
+		if d.computeFree > makespan {
+			makespan = d.computeFree
+		}
+	}
+	e.stats.Makespan = makespan
+	if makespan > 0 {
+		e.stats.Flops = e.stats.TotalFlops / makespan
+	}
+	var energy float64
+	for _, d := range e.devices {
+		energy += d.stats.DynEnergy + d.spec.IdleW*makespan
+		e.stats.BytesH2D += d.stats.BytesH2D
+		e.stats.BytesD2H += d.stats.BytesD2H
+		e.stats.Devices = append(e.stats.Devices, d.stats)
+	}
+	e.stats.Energy = energy
+	if makespan > 0 {
+		e.stats.AvgPower = energy / makespan
+	}
+}
+
+// Devices exposes the simulated devices' traces after a run (valid until
+// the next Run).
+func (e *Engine) DeviceTrace(i int) (busy, xfer []Interval) {
+	return e.devices[i].busyIntervals, e.devices[i].xferIntervals
+}
+
+// ScheduleTrace returns the ordered task placements recorded during a
+// Trace-enabled run (commit order; sort by Start for a timeline).
+func (e *Engine) ScheduleTrace() []ScheduledTask { return e.schedule }
+
+// workerPool runs numeric task bodies concurrently, bounded by size.
+type workerPool struct {
+	jobs chan func()
+	done chan struct{}
+}
+
+func newWorkerPool(size int) *workerPool {
+	if size < 1 {
+		size = 1
+	}
+	p := &workerPool{jobs: make(chan func(), 4*size), done: make(chan struct{})}
+	for i := 0; i < size; i++ {
+		go func() {
+			for j := range p.jobs {
+				j()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) submit(f func()) { p.jobs <- f }
+func (p *workerPool) close()          { close(p.jobs) }

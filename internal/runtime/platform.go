@@ -1,0 +1,218 @@
+package runtime
+
+import (
+	"fmt"
+
+	"geompc/internal/hw"
+)
+
+// Platform is the machine a run executes on: `Ranks` processes, each owning
+// `DevPerRank` identical GPUs of the node's generation, connected by the
+// node's network.
+type Platform struct {
+	Node       *hw.NodeSpec
+	Ranks      int
+	DevPerRank int
+}
+
+// NewPlatform builds a platform of `ranks` processes with `devPerRank` GPUs
+// each. devPerRank defaults to the node's GPU count when 0.
+func NewPlatform(node *hw.NodeSpec, ranks, devPerRank int) (*Platform, error) {
+	if node == nil {
+		return nil, fmt.Errorf("runtime: nil node spec")
+	}
+	if ranks <= 0 {
+		return nil, fmt.Errorf("runtime: invalid rank count %d", ranks)
+	}
+	if devPerRank == 0 {
+		devPerRank = node.GPUs
+	}
+	if devPerRank < 0 || devPerRank > node.GPUs {
+		return nil, fmt.Errorf("runtime: %d GPUs per rank exceeds node's %d", devPerRank, node.GPUs)
+	}
+	return &Platform{Node: node, Ranks: ranks, DevPerRank: devPerRank}, nil
+}
+
+// NumDevices returns the total GPU count.
+func (p *Platform) NumDevices() int { return p.Ranks * p.DevPerRank }
+
+// RankOfDevice returns the rank owning global device index d.
+func (p *Platform) RankOfDevice(d int) int { return d / p.DevPerRank }
+
+// DeviceOf returns the global device index of local device l on rank r.
+func (p *Platform) DeviceOf(rank, local int) int { return rank*p.DevPerRank + local }
+
+// device is the simulated per-GPU state.
+type device struct {
+	id   int
+	rank int
+	spec *hw.GPUSpec
+
+	computeFree float64 // next instant the compute stream is free
+	h2dFree     float64
+	d2hFree     float64
+
+	committed int // tasks accepted into the stream pipeline, not yet done
+
+	resident map[DataID]*residentEntry
+	// lruHead/lruTail form an intrusive recency list: head = most recently
+	// used, tail = eviction candidate. All operations are O(1).
+	lruHead, lruTail *residentEntry
+	used             int64
+
+	ready *taskHeap
+
+	stats DeviceStats
+
+	// tracing (optional): busy intervals of the compute stream with the
+	// dynamic power drawn, plus host-link transfer intervals.
+	trace         bool
+	busyIntervals []Interval
+	xferIntervals []Interval
+}
+
+type residentEntry struct {
+	data       DataID
+	bytes      int64
+	pins       int
+	hostCopy   bool // a host copy exists; eviction needs no writeback
+	prev, next *residentEntry
+}
+
+// DeviceStats aggregates one device's activity over a run.
+type DeviceStats struct {
+	BusyTime       float64 // compute-stream occupancy, seconds
+	TransferTime   float64 // host-link busy time (max of H2D/D2H), seconds
+	Flops          float64
+	BytesH2D       int64
+	BytesD2H       int64
+	Evictions      int
+	Writebacks     int
+	DynEnergy      float64 // joules above idle
+	PeakResident   int64
+	ConvertKernels int
+}
+
+// Interval is a traced activity window.
+type Interval struct {
+	Start, End float64
+	Power      float64 // dynamic watts during the window (trace use)
+}
+
+func newDevice(id, rank int, spec *hw.GPUSpec, trace bool) *device {
+	return &device{
+		id: id, rank: rank, spec: spec,
+		resident: make(map[DataID]*residentEntry),
+		ready:    &taskHeap{},
+		trace:    trace,
+	}
+}
+
+// lruUnlink removes e from the recency list.
+func (d *device) lruUnlink(e *residentEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		d.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		d.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// lruFront pushes e to the most-recently-used end.
+func (d *device) lruFront(e *residentEntry) {
+	e.prev, e.next = nil, d.lruHead
+	if d.lruHead != nil {
+		d.lruHead.prev = e
+	}
+	d.lruHead = e
+	if d.lruTail == nil {
+		d.lruTail = e
+	}
+}
+
+func (d *device) touch(id DataID) *residentEntry {
+	e := d.resident[id]
+	if e != nil {
+		d.lruUnlink(e)
+		d.lruFront(e)
+	}
+	return e
+}
+
+// insert adds a resident copy, evicting LRU entries as needed. It returns
+// the time at which required writebacks complete (0 when none), so callers
+// can order dependent transfers, and records eviction statistics.
+func (d *device) insert(id DataID, bytes int64, hostCopy bool, now float64, ev *evictSink) {
+	if e := d.resident[id]; e != nil {
+		d.lruUnlink(e)
+		d.lruFront(e)
+		if bytes > e.bytes {
+			d.used += bytes - e.bytes
+			e.bytes = bytes
+		}
+		e.hostCopy = e.hostCopy || hostCopy
+		return
+	}
+	// Make room first so the new entry can never evict itself; if every
+	// resident tile is pinned the device over-commits instead.
+	d.evictTo(d.spec.MemBytes-bytes, now, ev)
+	e := &residentEntry{data: id, bytes: bytes, hostCopy: hostCopy}
+	d.resident[id] = e
+	d.lruFront(e)
+	d.used += bytes
+	if d.used > d.stats.PeakResident {
+		d.stats.PeakResident = d.used
+	}
+}
+
+// evictSink receives the tiles that must be written back to host during
+// eviction; the engine turns them into D2H transfers and host copies.
+type evictSink struct {
+	writebacks []evicted
+}
+
+type evicted struct {
+	data  DataID
+	bytes int64
+}
+
+func (d *device) evictTo(capacity int64, now float64, ev *evictSink) {
+	_ = now
+	e := d.lruTail
+	for d.used > capacity && e != nil {
+		prev := e.prev
+		if e.pins > 0 {
+			// Pinned entries stay; if everything reachable is pinned the
+			// device over-commits rather than deadlocking (bounded
+			// lookahead keeps the pinned set to a handful of tiles).
+			e = prev
+			continue
+		}
+		if !e.hostCopy && ev != nil {
+			ev.writebacks = append(ev.writebacks, evicted{e.data, e.bytes})
+			d.stats.Writebacks++
+		}
+		d.used -= e.bytes
+		d.lruUnlink(e)
+		delete(d.resident, e.data)
+		d.stats.Evictions++
+		e = prev
+	}
+}
+
+func (d *device) pin(id DataID) {
+	if e := d.resident[id]; e != nil {
+		e.pins++
+	}
+}
+
+func (d *device) unpin(id DataID) {
+	if e := d.resident[id]; e != nil && e.pins > 0 {
+		e.pins--
+	}
+}

@@ -1,0 +1,231 @@
+// Package tile provides the tile-partitioned symmetric matrix the adaptive
+// mixed-precision Cholesky operates on (§V): a lower-triangular collection
+// of square tiles, each carrying its own storage-precision metadata, mapped
+// onto a P×Q process grid by 2D block-cyclic distribution.
+package tile
+
+import (
+	"fmt"
+	"math"
+
+	"geompc/internal/linalg"
+	"geompc/internal/prec"
+)
+
+// Desc describes the tiling and distribution of a symmetric N×N matrix.
+type Desc struct {
+	N  int // matrix order
+	TS int // tile size (edge length of full tiles)
+	NT int // number of tile rows/columns = ceil(N/TS)
+	P  int // process-grid rows
+	Q  int // process-grid columns (P ≤ Q, as square as possible)
+}
+
+// NewDesc validates and completes a descriptor. The process grid defaults
+// to 1×1 when p or q is zero.
+func NewDesc(n, ts, p, q int) (Desc, error) {
+	if n <= 0 || ts <= 0 {
+		return Desc{}, fmt.Errorf("tile: invalid dimensions n=%d ts=%d", n, ts)
+	}
+	if p <= 0 {
+		p = 1
+	}
+	if q <= 0 {
+		q = 1
+	}
+	if p > q {
+		return Desc{}, fmt.Errorf("tile: process grid %dx%d violates P ≤ Q", p, q)
+	}
+	return Desc{N: n, TS: ts, NT: (n + ts - 1) / ts, P: p, Q: q}, nil
+}
+
+// SquarestGrid returns the most-square P×Q factorization of nranks with
+// P ≤ Q, the layout rule of §VII-A.
+func SquarestGrid(nranks int) (p, q int) {
+	if nranks <= 0 {
+		return 1, 1
+	}
+	for d := int(isqrt(nranks)); d >= 1; d-- {
+		if nranks%d == 0 {
+			return d, nranks / d
+		}
+	}
+	return 1, nranks
+}
+
+func isqrt(n int) int {
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}
+
+// TileDim returns the edge length of tile row/column k (the trailing tile
+// may be partial).
+func (d Desc) TileDim(k int) int {
+	if k < 0 || k >= d.NT {
+		panic(fmt.Sprintf("tile: index %d out of range [0,%d)", k, d.NT))
+	}
+	if k == d.NT-1 {
+		if r := d.N - k*d.TS; r != d.TS && r > 0 {
+			return r
+		}
+	}
+	return d.TS
+}
+
+// RankOf returns the owner rank of tile (i, j) under 2D block-cyclic
+// distribution over the P×Q grid.
+func (d Desc) RankOf(i, j int) int {
+	return (i%d.P)*d.Q + j%d.Q
+}
+
+// Ranks returns the total number of ranks in the grid.
+func (d Desc) Ranks() int { return d.P * d.Q }
+
+// LowerTileCount returns the number of stored tiles NT·(NT+1)/2.
+func (d Desc) LowerTileCount() int { return d.NT * (d.NT + 1) / 2 }
+
+// Tile is one block of the matrix. In numeric mode Data holds the m×n block
+// row-major (stride n); in phantom mode Data is nil and only the metadata
+// participates in the simulation.
+type Tile struct {
+	I, J    int            // tile coordinates (I ≥ J: lower triangle)
+	M, N    int            // block dimensions
+	Data    []float64      // nil in phantom mode
+	Storage prec.Precision // precision this tile is generated/stored in (§V)
+}
+
+// Norm returns the Frobenius norm of the tile's data. Phantom tiles panic;
+// use the precmap sampled estimator for phantom norms.
+func (t *Tile) Norm() float64 {
+	if t.Data == nil {
+		panic("tile: Norm on phantom tile")
+	}
+	return linalg.FrobeniusNormMat(t.M, t.N, t.Data, t.N)
+}
+
+// Quantize rounds the tile's data through its storage precision.
+func (t *Tile) Quantize() {
+	if t.Data != nil {
+		prec.Quantize(t.Data, t.Storage)
+	}
+}
+
+// Matrix is a symmetric matrix stored as its lower triangle of tiles.
+type Matrix struct {
+	Desc
+	Phantom bool
+	tiles   []*Tile // packed lower triangle, row-major: (i,j) at i(i+1)/2+j
+}
+
+// NewMatrix allocates the tile structure. If phantom is true no data slices
+// are allocated. Storage precisions default to FP64 until SetStorage.
+func NewMatrix(d Desc, phantom bool) *Matrix {
+	m := &Matrix{Desc: d, Phantom: phantom, tiles: make([]*Tile, d.LowerTileCount())}
+	for i := 0; i < d.NT; i++ {
+		for j := 0; j <= i; j++ {
+			t := &Tile{I: i, J: j, M: d.TileDim(i), N: d.TileDim(j), Storage: prec.FP64}
+			if !phantom {
+				t.Data = make([]float64, t.M*t.N)
+			}
+			m.tiles[i*(i+1)/2+j] = t
+		}
+	}
+	return m
+}
+
+// At returns tile (i, j) of the lower triangle; it panics if j > i.
+func (m *Matrix) At(i, j int) *Tile {
+	if j > i || i >= m.NT || j < 0 {
+		panic(fmt.Sprintf("tile: At(%d,%d) outside lower triangle NT=%d", i, j, m.NT))
+	}
+	return m.tiles[i*(i+1)/2+j]
+}
+
+// Fill populates every tile by calling gen with the tile and its global
+// offsets; no-op in phantom mode.
+func (m *Matrix) Fill(gen func(t *Tile, rowStart, colStart int)) {
+	if m.Phantom {
+		return
+	}
+	for _, t := range m.tiles {
+		gen(t, t.I*m.TS, t.J*m.TS)
+	}
+}
+
+// SetStorage applies a storage-precision map (indexed [i][j], lower
+// triangle) to all tiles and quantizes numeric data accordingly, modeling
+// the matrix-generation phase of §V where FP16-family tiles are generated
+// directly in FP32.
+func (m *Matrix) SetStorage(storage func(i, j int) prec.Precision) {
+	for _, t := range m.tiles {
+		t.Storage = storage(t.I, t.J)
+		t.Quantize()
+	}
+}
+
+// TileNorms returns the Frobenius norm of every lower tile, indexed like
+// the packed triangle, plus the global Frobenius norm of the full symmetric
+// matrix (off-diagonal tiles counted twice).
+func (m *Matrix) TileNorms() (norms []float64, global float64) {
+	if m.Phantom {
+		panic("tile: TileNorms on phantom matrix")
+	}
+	norms = make([]float64, len(m.tiles))
+	var ss float64
+	for idx, t := range m.tiles {
+		nm := t.Norm()
+		norms[idx] = nm
+		if t.I == t.J {
+			ss += nm * nm
+		} else {
+			ss += 2 * nm * nm
+		}
+	}
+	return norms, math.Sqrt(ss)
+}
+
+// ToDense reconstructs the full symmetric matrix (both triangles) into a
+// fresh row-major slice — for tests and small-scale verification only.
+func (m *Matrix) ToDense() []float64 {
+	if m.Phantom {
+		panic("tile: ToDense on phantom matrix")
+	}
+	n := m.N
+	out := make([]float64, n*n)
+	for _, t := range m.tiles {
+		r0, c0 := t.I*m.TS, t.J*m.TS
+		for i := 0; i < t.M; i++ {
+			for j := 0; j < t.N; j++ {
+				v := t.Data[i*t.N+j]
+				out[(r0+i)*n+c0+j] = v
+				out[(c0+j)*n+r0+i] = v
+			}
+		}
+	}
+	return out
+}
+
+// LowerToDense reconstructs only the lower triangle (upper left zero),
+// as produced by the Cholesky factorization.
+func (m *Matrix) LowerToDense() []float64 {
+	if m.Phantom {
+		panic("tile: LowerToDense on phantom matrix")
+	}
+	n := m.N
+	out := make([]float64, n*n)
+	for _, t := range m.tiles {
+		r0, c0 := t.I*m.TS, t.J*m.TS
+		for i := 0; i < t.M; i++ {
+			for j := 0; j < t.N; j++ {
+				gi, gj := r0+i, c0+j
+				if gj <= gi {
+					out[gi*n+gj] = t.Data[i*t.N+j]
+				}
+			}
+		}
+	}
+	return out
+}

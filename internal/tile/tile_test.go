@@ -1,0 +1,215 @@
+package tile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geompc/internal/geo"
+	"geompc/internal/prec"
+	"geompc/internal/stats"
+)
+
+func TestNewDesc(t *testing.T) {
+	d, err := NewDesc(100, 32, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NT != 4 {
+		t.Errorf("NT = %d, want 4", d.NT)
+	}
+	if d.Ranks() != 6 {
+		t.Errorf("Ranks = %d, want 6", d.Ranks())
+	}
+	if _, err := NewDesc(0, 32, 1, 1); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := NewDesc(100, 32, 3, 2); err == nil {
+		t.Error("accepted P > Q")
+	}
+	// Defaults for zero grid.
+	d2, err := NewDesc(10, 5, 0, 0)
+	if err != nil || d2.P != 1 || d2.Q != 1 {
+		t.Errorf("zero grid not defaulted: %+v, %v", d2, err)
+	}
+}
+
+func TestTileDim(t *testing.T) {
+	d, _ := NewDesc(100, 32, 1, 1)
+	dims := []int{32, 32, 32, 4}
+	for k, want := range dims {
+		if got := d.TileDim(k); got != want {
+			t.Errorf("TileDim(%d) = %d, want %d", k, got, want)
+		}
+	}
+	// Exact multiple: all tiles full.
+	d2, _ := NewDesc(96, 32, 1, 1)
+	if d2.NT != 3 || d2.TileDim(2) != 32 {
+		t.Errorf("exact multiple handled wrong: NT=%d last=%d", d2.NT, d2.TileDim(2))
+	}
+}
+
+func TestSquarestGrid(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 2: {1, 2}, 4: {2, 2}, 6: {2, 3}, 12: {3, 4}, 7: {1, 7}, 36: {6, 6}, 384: {16, 24}}
+	for n, want := range cases {
+		p, q := SquarestGrid(n)
+		if p != want[0] || q != want[1] {
+			t.Errorf("SquarestGrid(%d) = %d×%d, want %d×%d", n, p, q, want[0], want[1])
+		}
+		if p*q != n || p > q {
+			t.Errorf("SquarestGrid(%d) invalid: %d×%d", n, p, q)
+		}
+	}
+}
+
+func TestRankOfBlockCyclic(t *testing.T) {
+	d, _ := NewDesc(320, 32, 2, 3)
+	// Block-cyclic: rank depends on (i mod P, j mod Q).
+	if d.RankOf(0, 0) != 0 || d.RankOf(1, 0) != 3 || d.RankOf(0, 1) != 1 || d.RankOf(2, 3) != 0 {
+		t.Error("block-cyclic mapping wrong")
+	}
+	// Every rank must own at least one tile of a 10×10 grid.
+	seen := make(map[int]bool)
+	for i := 0; i < d.NT; i++ {
+		for j := 0; j <= i; j++ {
+			r := d.RankOf(i, j)
+			if r < 0 || r >= d.Ranks() {
+				t.Fatalf("rank %d out of range", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != d.Ranks() {
+		t.Errorf("only %d of %d ranks own tiles", len(seen), d.Ranks())
+	}
+}
+
+func TestMatrixStructure(t *testing.T) {
+	d, _ := NewDesc(70, 32, 1, 1)
+	m := NewMatrix(d, false)
+	if got := d.LowerTileCount(); got != 6 {
+		t.Errorf("LowerTileCount = %d, want 6", got)
+	}
+	// Partial trailing tiles.
+	last := m.At(2, 2)
+	if last.M != 6 || last.N != 6 {
+		t.Errorf("trailing tile dims %dx%d, want 6x6", last.M, last.N)
+	}
+	edge := m.At(2, 0)
+	if edge.M != 6 || edge.N != 32 {
+		t.Errorf("edge tile dims %dx%d, want 6x32", edge.M, edge.N)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At above diagonal did not panic")
+		}
+	}()
+	m.At(0, 1)
+}
+
+func TestFillAndToDense(t *testing.T) {
+	rng := stats.NewRNG(1, 0)
+	locs := geo.GenerateLocations(48, 2, rng)
+	k := geo.SqExp{Dimension: 2}
+	theta := []float64{1, 0.1}
+	d, _ := NewDesc(48, 16, 1, 1)
+	m := NewMatrix(d, false)
+	m.Fill(func(t *Tile, r0, c0 int) {
+		geo.CovTile(locs, r0, c0, t.M, t.N, k, theta, 0, t.Data, t.N)
+	})
+	dense := m.ToDense()
+	ref := geo.CovMatrix(locs, k, theta, 0)
+	for i := range ref {
+		if dense[i] != ref[i] {
+			t.Fatalf("dense[%d] = %g, want %g", i, dense[i], ref[i])
+		}
+	}
+}
+
+func TestTileNormsMatchGlobal(t *testing.T) {
+	rng := stats.NewRNG(2, 0)
+	locs := geo.GenerateLocations(40, 2, rng)
+	k := geo.SqExp{Dimension: 2}
+	theta := []float64{1, 0.2}
+	d, _ := NewDesc(40, 16, 1, 1)
+	m := NewMatrix(d, false)
+	m.Fill(func(t *Tile, r0, c0 int) {
+		geo.CovTile(locs, r0, c0, t.M, t.N, k, theta, 0, t.Data, t.N)
+	})
+	_, global := m.TileNorms()
+	// Global from tiles must equal the dense Frobenius norm.
+	dense := m.ToDense()
+	var ss float64
+	for _, v := range dense {
+		ss += v * v
+	}
+	want := math.Sqrt(ss)
+	if math.Abs(global-want) > 1e-10*want {
+		t.Errorf("global norm %g, want %g", global, want)
+	}
+}
+
+func TestSetStorageQuantizes(t *testing.T) {
+	d, _ := NewDesc(8, 4, 1, 1)
+	m := NewMatrix(d, false)
+	m.Fill(func(t *Tile, r0, c0 int) {
+		for i := range t.Data {
+			t.Data[i] = math.Pi
+		}
+	})
+	m.SetStorage(func(i, j int) prec.Precision {
+		if i == j {
+			return prec.FP64
+		}
+		return prec.FP32
+	})
+	if got := m.At(0, 0).Data[0]; got != math.Pi {
+		t.Errorf("diagonal tile quantized: %v", got)
+	}
+	if got := m.At(1, 0).Data[0]; got != float64(float32(math.Pi)) {
+		t.Errorf("off-diagonal tile not FP32-quantized: %v", got)
+	}
+	if m.At(1, 0).Storage != prec.FP32 {
+		t.Error("storage precision not recorded")
+	}
+}
+
+func TestPhantomMatrix(t *testing.T) {
+	d, _ := NewDesc(1024, 128, 2, 2)
+	m := NewMatrix(d, true)
+	if m.At(3, 1).Data != nil {
+		t.Error("phantom tile has data")
+	}
+	m.Fill(func(t *Tile, r0, c0 int) { t.Data = make([]float64, 1) }) // must be a no-op
+	if m.At(0, 0).Data != nil {
+		t.Error("Fill touched phantom matrix")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TileNorms on phantom did not panic")
+		}
+	}()
+	m.TileNorms()
+}
+
+func TestDescProperties(t *testing.T) {
+	if err := quick.Check(func(n16, ts16 uint16) bool {
+		n, ts := int(n16%2000)+1, int(ts16%128)+1
+		d, err := NewDesc(n, ts, 1, 1)
+		if err != nil {
+			return false
+		}
+		// Tile dims must sum to N and all be in (0, TS].
+		sum := 0
+		for k := 0; k < d.NT; k++ {
+			td := d.TileDim(k)
+			if td <= 0 || td > ts {
+				return false
+			}
+			sum += td
+		}
+		return sum == n
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package tlr implements tile low-rank (TLR) compression, the future-work
+// direction the paper names in §VIII ("combining the strengths of mixed
+// precisions with tile low-rank computations"): off-diagonal covariance
+// tiles are numerically low-rank, so storing them as U·Vᵀ with a relative
+// tolerance multiplies the savings of reduced-precision storage.
+//
+// Compression uses Adaptive Cross Approximation with partial pivoting — the
+// standard algebraic compressor for covariance blocks (used by HiCMA/
+// ExaGeoStat-TLR) — which touches only O(r·(m+n)) of the tile's entries per
+// accepted rank.
+package tlr
+
+import (
+	"math"
+)
+
+// LowRank is a rank-r factorization A ≈ U·Vᵀ. U holds r slabs of length M
+// (U[k*M+i] = U_k(i)) and V holds r slabs of length N (V[k*N+j] = V_k(j)).
+type LowRank struct {
+	M, N, Rank int
+	U, V       []float64
+}
+
+// Bytes returns the storage footprint of the factors at elemBytes per
+// element (8 for FP64, 4 for FP32, 2 for FP16 storage).
+func (lr *LowRank) Bytes(elemBytes int) int64 {
+	return int64(lr.Rank) * int64(lr.M+lr.N) * int64(elemBytes)
+}
+
+// Dense reconstructs the approximation into a fresh m×n row-major slice.
+func (lr *LowRank) Dense() []float64 {
+	out := make([]float64, lr.M*lr.N)
+	for k := 0; k < lr.Rank; k++ {
+		uk := lr.U[k*lr.M : (k+1)*lr.M]
+		vk := lr.V[k*lr.N : (k+1)*lr.N]
+		for i := 0; i < lr.M; i++ {
+			row := out[i*lr.N : (i+1)*lr.N]
+			ui := uk[i]
+			for j := 0; j < lr.N; j++ {
+				row[j] += ui * vk[j]
+			}
+		}
+	}
+	return out
+}
+
+// Compress approximates the dense m×n tile a (row-major, stride n) to
+// relative Frobenius tolerance tol using partially pivoted ACA. maxRank
+// bounds the accepted rank (0 means min(m,n)). The returned approximation
+// satisfies ‖A − UVᵀ‖_F ≲ tol·‖A‖_F for the numerically low-rank blocks of
+// smooth covariance kernels.
+func Compress(a []float64, m, n int, tol float64, maxRank int) *LowRank {
+	if maxRank <= 0 || maxRank > min(m, n) {
+		maxRank = min(m, n)
+	}
+	lr := &LowRank{M: m, N: n}
+	rowUsed := make([]bool, m)
+	colUsed := make([]bool, n)
+
+	// Residual entry r_ij = a_ij − Σ_k u_k(i)·v_k(j), computed on demand.
+	resid := func(i, j int) float64 {
+		v := a[i*n+j]
+		for k := 0; k < lr.Rank; k++ {
+			v -= lr.U[k*m+i] * lr.V[k*n+j]
+		}
+		return v
+	}
+
+	var approxNorm2 float64 // running estimate of ‖UVᵀ‖_F²
+	i := 0
+	for lr.Rank < maxRank {
+		// Row i of the residual.
+		rowUsed[i] = true
+		rowBuf := make([]float64, n)
+		jStar, maxAbs := -1, 0.0
+		for j := 0; j < n; j++ {
+			rowBuf[j] = resid(i, j)
+			if !colUsed[j] && math.Abs(rowBuf[j]) > maxAbs {
+				maxAbs = math.Abs(rowBuf[j])
+				jStar = j
+			}
+		}
+		if jStar < 0 || maxAbs == 0 {
+			// Row exhausted; try the next unused row.
+			if next := nextUnused(rowUsed); next >= 0 {
+				i = next
+				continue
+			}
+			break
+		}
+		delta := rowBuf[jStar]
+		colUsed[jStar] = true
+
+		// u_k = residual column jStar; v_k = residual row i / delta.
+		uk := make([]float64, m)
+		var un, vn float64
+		bestAbs, bestI := 0.0, -1
+		for r := 0; r < m; r++ {
+			uk[r] = resid(r, jStar)
+			un += uk[r] * uk[r]
+			if !rowUsed[r] && math.Abs(uk[r]) > bestAbs {
+				bestAbs = math.Abs(uk[r])
+				bestI = r
+			}
+		}
+		vk := make([]float64, n)
+		for c := 0; c < n; c++ {
+			vk[c] = rowBuf[c] / delta
+			vn += vk[c] * vk[c]
+		}
+
+		lr.U = append(lr.U, uk...)
+		lr.V = append(lr.V, vk...)
+		lr.Rank++
+
+		// Convergence: the new term's norm against the running approximation
+		// norm (Bebendorf's standard stopping rule).
+		term := math.Sqrt(un) * math.Sqrt(vn)
+		approxNorm2 += un * vn
+		for k := 0; k < lr.Rank-1; k++ {
+			var uu, vv float64
+			for r := 0; r < m; r++ {
+				uu += lr.U[k*m+r] * uk[r]
+			}
+			for c := 0; c < n; c++ {
+				vv += lr.V[k*n+c] * vk[c]
+			}
+			approxNorm2 += 2 * uu * vv
+		}
+		if approxNorm2 > 0 && term <= tol*math.Sqrt(approxNorm2) {
+			break
+		}
+		if bestI < 0 {
+			if next := nextUnused(rowUsed); next >= 0 {
+				i = next
+				continue
+			}
+			break
+		}
+		i = bestI
+	}
+	return lr
+}
+
+func nextUnused(used []bool) int {
+	for i, u := range used {
+		if !u {
+			return i
+		}
+	}
+	return -1
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RelError returns ‖A − UVᵀ‖_F / ‖A‖_F against the dense original.
+func (lr *LowRank) RelError(a []float64) float64 {
+	d := lr.Dense()
+	var num, den float64
+	for i := range a {
+		e := a[i] - d[i]
+		num += e * e
+		den += a[i] * a[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}

@@ -1,0 +1,131 @@
+package tlr
+
+import (
+	"testing"
+
+	"geompc/internal/geo"
+	"geompc/internal/stats"
+)
+
+// exactLowRankTile builds a tile of exact rank r.
+func exactLowRankTile(m, n, r int, rng *stats.RNG) []float64 {
+	u := make([]float64, m*r)
+	v := make([]float64, n*r)
+	for i := range u {
+		u[i] = rng.Norm()
+	}
+	for i := range v {
+		v[i] = rng.Norm()
+	}
+	a := make([]float64, m*n)
+	for k := 0; k < r; k++ {
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a[i*n+j] += u[i*r+k] * v[j*r+k]
+			}
+		}
+	}
+	return a
+}
+
+func TestCompressExactRank(t *testing.T) {
+	rng := stats.NewRNG(1, 0)
+	for _, r := range []int{1, 2, 5} {
+		a := exactLowRankTile(24, 20, r, rng)
+		lr := Compress(a, 24, 20, 1e-12, 0)
+		if lr.Rank > r+1 {
+			t.Errorf("exact rank-%d tile compressed to rank %d", r, lr.Rank)
+		}
+		if e := lr.RelError(a); e > 1e-10 {
+			t.Errorf("rank-%d reconstruction error %g", r, e)
+		}
+	}
+}
+
+func TestCompressToleranceHonored(t *testing.T) {
+	// Covariance tile between two well-separated clusters: numerically
+	// low-rank under a smooth kernel.
+	rng := stats.NewRNG(2, 0)
+	locs := geo.GenerateLocations(256, 2, rng)
+	k := geo.SqExp{Dimension: 2}
+	theta := []float64{1, 0.5}
+	m, n := 64, 64
+	a := make([]float64, m*n)
+	geo.CovTile(locs, 0, 192, m, n, k, theta, 0, a, n)
+	for _, tol := range []float64{1e-2, 1e-4, 1e-8} {
+		lr := Compress(a, m, n, tol, 0)
+		if e := lr.RelError(a); e > 20*tol {
+			t.Errorf("tol=%g: error %g (rank %d)", tol, e, lr.Rank)
+		}
+		if lr.Rank >= m {
+			t.Errorf("tol=%g: no compression achieved (rank %d)", tol, lr.Rank)
+		}
+	}
+}
+
+func TestRankGrowsWithTightTolerance(t *testing.T) {
+	rng := stats.NewRNG(3, 0)
+	locs := geo.GenerateLocations(256, 2, rng)
+	k := geo.Matern{Dimension: 2}
+	theta := []float64{1, 0.3, 0.5}
+	m, n := 64, 64
+	a := make([]float64, m*n)
+	geo.CovTile(locs, 0, 192, m, n, k, theta, 0, a, n)
+	loose := Compress(a, m, n, 1e-2, 0)
+	tight := Compress(a, m, n, 1e-9, 0)
+	if !(tight.Rank >= loose.Rank) {
+		t.Errorf("tight tolerance rank %d below loose rank %d", tight.Rank, loose.Rank)
+	}
+	if loose.Bytes(8) >= int64(m*n*8) {
+		t.Errorf("loose compression larger than dense (%d bytes)", loose.Bytes(8))
+	}
+}
+
+func TestCompressZeroTile(t *testing.T) {
+	a := make([]float64, 16*16)
+	lr := Compress(a, 16, 16, 1e-6, 0)
+	if lr.Rank != 0 {
+		t.Errorf("zero tile got rank %d", lr.Rank)
+	}
+	if e := lr.RelError(a); e != 0 {
+		t.Errorf("zero tile error %g", e)
+	}
+}
+
+func TestCompressFullRankFallsBack(t *testing.T) {
+	// A random (full-rank) tile must still reconstruct when allowed full
+	// rank.
+	rng := stats.NewRNG(4, 0)
+	m := 12
+	a := make([]float64, m*m)
+	for i := range a {
+		a[i] = rng.Norm()
+	}
+	lr := Compress(a, m, m, 1e-14, 0)
+	if e := lr.RelError(a); e > 1e-9 {
+		t.Errorf("full-rank reconstruction error %g (rank %d)", e, lr.Rank)
+	}
+}
+
+func TestMaxRankBound(t *testing.T) {
+	rng := stats.NewRNG(5, 0)
+	m := 20
+	a := make([]float64, m*m)
+	for i := range a {
+		a[i] = rng.Norm()
+	}
+	lr := Compress(a, m, m, 0, 3)
+	if lr.Rank > 3 {
+		t.Errorf("maxRank=3 produced rank %d", lr.Rank)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	lr := &LowRank{M: 100, N: 80, Rank: 7}
+	if got := lr.Bytes(8); got != 7*180*8 {
+		t.Errorf("Bytes = %d", got)
+	}
+	if got := lr.Bytes(2); got != 7*180*2 {
+		t.Errorf("FP16 Bytes = %d", got)
+	}
+}
