@@ -28,6 +28,8 @@ func main() {
 	ts := flag.Int("ts", 2048, "tile size")
 	bins := flag.Int("bins", 40, "trace windows")
 	trace := flag.Bool("trace", false, "print the full power trace, not just totals")
+	chrome := flag.String("chrome", "", "write the first Fig 10 run's timeline as Chrome trace JSON to this file")
+	audit := flag.Bool("audit", false, "run every factorization under the engine's invariant auditor")
 	flag.Parse()
 
 	if !*occupancy && !*fig10 {
@@ -42,6 +44,7 @@ func main() {
 		}
 		fmt.Printf("## Fig 9: GPU occupancy of one H100 (N=%d)\n", size)
 		for _, cfg := range bench.OccupancyConfigs() {
+			cfg.Audit = *audit
 			run, err := bench.EnergyRunOne(hw.HaxaneNode, cfg, size, *ts, *bins, 1)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "power:", err)
@@ -86,12 +89,21 @@ func main() {
 				fmt.Sprintf("Fig 10: power/energy on one %s (N=%d)", nd.GPU.Name, size),
 				"Config", "Time(s)", "Energy(kJ)", "AvgPower(W)", "Gflops/W")
 			for _, cfg := range bench.EnergySweepConfigs() {
+				cfg.Audit = *audit
 				run, err := bench.EnergyRunOne(nd, cfg, size, *ts, *bins, 1)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "power:", err)
 					os.Exit(1)
 				}
 				t.Add(run.Label, run.Time, run.EnergyJ/1e3, run.AvgPower, run.GflopsPerW)
+				if *chrome != "" {
+					if err := writeChrome(*chrome, run); err != nil {
+						fmt.Fprintln(os.Stderr, "power:", err)
+						os.Exit(1)
+					}
+					fmt.Printf("chrome trace of %s written to %s\n", run.Label, *chrome)
+					*chrome = "" // first run only
+				}
 				if *trace {
 					var sb strings.Builder
 					for _, p := range run.Power {
@@ -104,4 +116,17 @@ func main() {
 			fmt.Printf("max TDP on %s: %.0f W\n\n", nd.GPU.Name, nd.GPU.TDP)
 		}
 	}
+}
+
+// writeChrome exports one energy run's timeline as Chrome trace JSON.
+func writeChrome(path string, run *bench.EnergyRun) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := run.Res.WriteChromeTrace(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

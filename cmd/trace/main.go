@@ -5,6 +5,8 @@
 // Usage:
 //
 //	trace -nt 4 -gpus 2
+//	trace -nt 8 -chrome out.json     # export a Chrome/Perfetto trace
+//	trace -audit -metrics            # audited run + metrics dump
 package main
 
 import (
@@ -26,6 +28,9 @@ func main() {
 	ts := flag.Int("ts", 2048, "tile size")
 	gpus := flag.Int("gpus", 2, "GPUs on one Summit node")
 	iters := flag.Int("iters", 2, "print tasks of the first k iterations (0 = all)")
+	chrome := flag.String("chrome", "", "write the timeline as Chrome trace-event JSON to this file")
+	audit := flag.Bool("audit", false, "run the engine's invariant auditor; violations are fatal")
+	metrics := flag.Bool("metrics", false, "dump the run's metrics registry after the schedule")
 	flag.Parse()
 
 	d, err := tile.NewDesc(*nt**ts, *ts, 1, 1)
@@ -39,7 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trace:", err)
 		os.Exit(1)
 	}
-	res, err := cholesky.Run(cholesky.Config{Desc: d, Maps: maps, Platform: plat, Trace: true})
+	res, err := cholesky.Run(cholesky.Config{Desc: d, Maps: maps, Platform: plat, Trace: true, Audit: *audit})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trace:", err)
 		os.Exit(1)
@@ -60,8 +65,33 @@ func main() {
 		bar := strings.Repeat(" ", s) + strings.Repeat("#", e-s) + strings.Repeat(" ", barLen-e)
 		fmt.Printf("dev%-2d |%s| %8.3f→%-8.3f ms  %s\n", t.Device, bar, t.Start*1e3, t.End*1e3, t.Name)
 	}
-	fmt.Printf("\nmakespan %.3f ms, %d tasks, %.1f Tflop/s\n",
-		makespan*1e3, res.Stats.Tasks, res.Stats.Flops/1e12)
+	fmt.Printf("\nmakespan %.3f ms, %d tasks, %.1f Tflop/s, schedule digest %016x\n",
+		makespan*1e3, res.Stats.Tasks, res.Stats.Flops/1e12, res.Stats.ScheduleDigest)
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		if err := res.WriteChromeTrace(f, *nt); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev or chrome://tracing)\n", *chrome)
+	}
+	if *metrics {
+		fmt.Println("\nmetrics:")
+		if _, err := res.Metrics().WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // inFirstIters reports whether the task belongs to iteration < k of

@@ -30,6 +30,9 @@ type EnergyRun struct {
 	AvgPower   float64
 	Power      []TracePoint
 	Occupancy  []TracePoint
+	// Res is the underlying factorization result, kept so callers can pull
+	// the metrics registry or export a Chrome trace of the run.
+	Res *cholesky.Result
 }
 
 // EnergyConfig selects what executes: a uniform FP64 baseline or one of the
@@ -42,6 +45,8 @@ type EnergyConfig struct {
 	// two-precision extreme (used by the Fig 9 occupancy panels).
 	OffDiag prec.Precision
 	Uniform bool
+	// Audit turns on the runtime's invariant auditor for the run.
+	Audit bool
 }
 
 // EnergySweepConfigs returns Fig 10's per-GPU comparisons: FP64 vs the
@@ -95,7 +100,7 @@ func EnergyRunOne(node *hw.NodeSpec, cfg EnergyConfig, n, ts, bins int, seed uin
 	}
 	maps := precmap.New(km, ureq)
 	res, err := cholesky.Run(cholesky.Config{
-		Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto, Trace: true,
+		Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto, Trace: true, Audit: cfg.Audit,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: energy run %s n=%d: %w", cfg.Label, n, err)
@@ -108,6 +113,7 @@ func EnergyRunOne(node *hw.NodeSpec, cfg EnergyConfig, n, ts, bins int, seed uin
 		EnergyJ:    res.Stats.Energy,
 		AvgPower:   res.Stats.AvgPower,
 		GflopsPerW: res.Stats.TotalFlops / 1e9 / res.Stats.Energy,
+		Res:        res,
 	}
 	run.Power = binPower(busy, xfer, node.GPU.IdleW, res.Stats.Makespan, bins)
 	run.Occupancy = binOccupancy(busy, res.Stats.Makespan, bins)

@@ -2,8 +2,10 @@ package cholesky
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
+	"geompc/internal/obs"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
 	"geompc/internal/tile"
@@ -24,6 +26,10 @@ type Config struct {
 	Strategy Strategy
 	// Trace enables per-interval occupancy/power recording.
 	Trace bool
+	// Audit enables the runtime's invariant auditor (pin balance, LRU
+	// residency, energy conservation); violations fail the run. Implies
+	// Trace.
+	Audit bool
 	// Lookahead overrides the engine's stream pipeline depth (default 2).
 	Lookahead int
 }
@@ -46,6 +52,23 @@ type Result struct {
 // recorded during a Trace-enabled run.
 func (r *Result) DeviceTrace(i int) (busy, xfer []runtime.Interval) {
 	return r.engine.DeviceTrace(i)
+}
+
+// Digest returns the run's schedule digest (see runtime.Stats.ScheduleDigest).
+func (r *Result) Digest() uint64 { return r.Stats.ScheduleDigest }
+
+// Metrics returns the engine's metrics registry for this run.
+func (r *Result) Metrics() *obs.Registry { return r.engine.Metrics() }
+
+// WriteChromeTrace renders the run's timeline as Chrome trace-event JSON.
+// nt, when positive, labels kernel spans in the paper's task notation
+// (only meaningful for Run results; pass 0 for RunDTD's insertion ids).
+func (r *Result) WriteChromeTrace(w io.Writer, nt int) error {
+	var name func(id int) string
+	if nt > 0 {
+		name = func(id int) string { return TaskName(nt, id) }
+	}
+	return r.engine.WriteChromeTrace(w, name)
 }
 
 // Run executes the adaptive mixed-precision tile Cholesky described by cfg
@@ -75,6 +98,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	eng := runtime.New(cfg.Platform, g)
 	eng.Trace = cfg.Trace
+	eng.Audit = cfg.Audit
 	if cfg.Lookahead > 0 {
 		eng.Lookahead = cfg.Lookahead
 	}

@@ -51,12 +51,14 @@ func RunDTD(cfg Config) (*Result, error) {
 			accesses = append(accesses, runtime.Access{
 				Data: in.Data, Mode: runtime.Read,
 				WireBytes:    in.WireBytes,
+				Prec:         in.WirePrec,
 				ConvertElems: in.ConvertElems,
 				ConvFrom:     in.ConvFrom, ConvTo: in.ConvTo,
 			})
 		}
 		accesses = append(accesses, runtime.Access{
-			Data: spec.Output.Data, Mode: runtime.Write, WireBytes: spec.Output.Bytes,
+			Data: spec.Output.Data, Mode: runtime.Write,
+			WireBytes: spec.Output.Bytes, Prec: spec.Output.Prec,
 		})
 		_, err := dtd.Insert(spec, accesses...)
 		return err
@@ -88,6 +90,7 @@ func RunDTD(cfg Config) (*Result, error) {
 
 	eng := runtime.New(cfg.Platform, dtd)
 	eng.Trace = cfg.Trace
+	eng.Audit = cfg.Audit
 	if cfg.Lookahead > 0 {
 		eng.Lookahead = cfg.Lookahead
 	}

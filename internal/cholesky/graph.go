@@ -230,7 +230,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Flops = bd(k) * bd(k) * bd(k) / 3
 		s.Priority = g.priority(op, k, 0, k)
 		s.Inputs = nil
-		s.Output = runtime.OutputSpec{Data: g.dataID(k, k), Bytes: g.storageBytes(k, k)}
+		s.Output = runtime.OutputSpec{Data: g.dataID(k, k), Bytes: g.storageBytes(k, k), Prec: wireFormat(g.maps.Storage[k][k])}
 		if k < nt-1 {
 			remote := g.consumerSpread(s.Device, func(visit func(i, j int)) {
 				for i := k + 1; i < nt; i++ {
@@ -240,6 +240,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 			wp := g.wirePrec(k, k)
 			pub := &runtime.PublishSpec{
 				WireBytes:   g.wireBytes(k, k),
+				WirePrec:    wireFormat(wp),
 				RemoteRanks: remote,
 			}
 			if wireFormat(wp) != wireFormat(g.maps.Storage[k][k]) {
@@ -260,7 +261,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Priority = g.priority(op, m, 0, k)
 		s.Inputs = s.Inputs[:0]
 		s.Inputs = append(s.Inputs, g.inputSpec(k, k, s.Device, execInputFormat(s.Prec)))
-		s.Output = runtime.OutputSpec{Data: g.dataID(m, k), Bytes: g.storageBytes(m, k)}
+		s.Output = runtime.OutputSpec{Data: g.dataID(m, k), Bytes: g.storageBytes(m, k), Prec: wireFormat(g.maps.Storage[m][k])}
 		remote := g.consumerSpread(s.Device, func(visit func(i, j int)) {
 			visit(m, m) // SYRK
 			for j := k + 1; j < m; j++ {
@@ -273,6 +274,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		wp := g.wirePrec(m, k)
 		pub := &runtime.PublishSpec{
 			WireBytes:   g.wireBytes(m, k),
+			WirePrec:    wireFormat(wp),
 			RemoteRanks: remote,
 		}
 		if wireFormat(wp) != wireFormat(g.maps.Storage[m][k]) {
@@ -290,7 +292,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Priority = g.priority(op, m, 0, k)
 		s.Inputs = s.Inputs[:0]
 		s.Inputs = append(s.Inputs, g.inputSpec(m, k, s.Device, execInputFormat(s.Prec)))
-		s.Output = runtime.OutputSpec{Data: g.dataID(m, m), Bytes: g.storageBytes(m, m)}
+		s.Output = runtime.OutputSpec{Data: g.dataID(m, m), Bytes: g.storageBytes(m, m), Prec: wireFormat(g.maps.Storage[m][m])}
 		s.Publish = nil
 		s.Body = g.syrkBody(m, k)
 
@@ -305,7 +307,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Inputs = append(s.Inputs,
 			g.inputSpec(m, k, s.Device, inFmt),
 			g.inputSpec(n, k, s.Device, inFmt))
-		s.Output = runtime.OutputSpec{Data: g.dataID(m, n), Bytes: g.storageBytes(m, n)}
+		s.Output = runtime.OutputSpec{Data: g.dataID(m, n), Bytes: g.storageBytes(m, n), Prec: wireFormat(g.maps.Storage[m][n])}
 		s.Publish = nil
 		s.Body = g.gemmBody(m, n, k)
 	}
@@ -322,6 +324,7 @@ func (g *graph) inputSpec(i, j, dev int, needFmt prec.Precision) runtime.InputSp
 	in := runtime.InputSpec{
 		Data:      g.dataID(i, j),
 		WireBytes: g.wireBytes(i, j),
+		WirePrec:  wireFormat(g.wirePrec(i, j)),
 	}
 	if wf := wireFormat(g.wirePrec(i, j)); wf != needFmt {
 		in.ConvertElems = g.desc.TileDim(i) * g.desc.TileDim(j)

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/fnv"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b/count").Add(3)
+	r.Counter("b/count").Inc()
+	r.Gauge("a/gauge").Set(2.5)
+	r.Gauge("a/gauge").SetMax(1.0) // must not lower
+	h := r.Histogram("c/hist", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	if got := r.Counter("b/count").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if got := r.Gauge("a/gauge").Value(); got != 2.5 {
+		t.Errorf("gauge = %g, want 2.5", got)
+	}
+	if h.Count() != 3 || h.Sum() != 5050.5 {
+		t.Errorf("hist count=%d sum=%g", h.Count(), h.Sum())
+	}
+	_, counts := h.Buckets()
+	if len(counts) != 4 || counts[0] != 1 || counts[2] != 1 || counts[3] != 1 {
+		t.Errorf("bucket counts %v", counts)
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Errorf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "b/count") || !strings.Contains(sb.String(), "count=3") {
+		t.Errorf("rendered registry missing entries:\n%s", sb.String())
+	}
+
+	r.Reset()
+	if len(r.Snapshot()) != 0 {
+		t.Error("reset left metrics behind")
+	}
+}
+
+func TestRegistryConcurrentSafe(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").SetMax(float64(j))
+				r.Histogram("h", []float64{10}).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("n").Value() != 800 {
+		t.Errorf("concurrent counter = %d, want 800", r.Counter("n").Value())
+	}
+	if r.Histogram("h", nil).Count() != 800 {
+		t.Errorf("concurrent hist count = %d", r.Histogram("h", nil).Count())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 10, 4)
+	want := []float64{1e-6, 1e-5, 1e-4, 1e-3}
+	if len(b) != 4 {
+		t.Fatalf("got %d buckets", len(b))
+	}
+	for i := range b {
+		if math.Abs(b[i]-want[i])/want[i] > 1e-12 {
+			t.Errorf("bucket[%d] = %g, want %g", i, b[i], want[i])
+		}
+	}
+	if ExpBuckets(0, 2, 3) != nil || ExpBuckets(1, 1, 3) != nil {
+		t.Error("invalid bucket parameters accepted")
+	}
+}
+
+func TestDigestMatchesStdlibFNV(t *testing.T) {
+	// Our incremental digest must agree with hash/fnv over the same bytes.
+	d := NewDigest()
+	d.WriteString("schedule")
+	ref := fnv.New64a()
+	ref.Write([]byte("schedule"))
+	if d.Sum() != ref.Sum64() {
+		t.Errorf("digest %x != stdlib fnv %x", d.Sum(), ref.Sum64())
+	}
+
+	d2 := NewDigest()
+	d2.WriteUint64(0x0123456789abcdef)
+	ref2 := fnv.New64a()
+	ref2.Write([]byte{0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01})
+	if d2.Sum() != ref2.Sum64() {
+		t.Errorf("uint64 digest %x != stdlib %x", d2.Sum(), ref2.Sum64())
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	a, b := NewDigest(), NewDigest()
+	a.WriteFloat64(1.0)
+	b.WriteFloat64(math.Nextafter(1.0, 2.0))
+	if a.Sum() == b.Sum() {
+		t.Error("one-ULP difference not detected")
+	}
+	var zero Digest // zero value must behave like NewDigest
+	zero.WriteInt64(7)
+	fresh := NewDigest()
+	fresh.WriteInt64(7)
+	if zero.Sum() != fresh.Sum() {
+		t.Error("zero-value digest differs from NewDigest")
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	tr := NewTrace()
+	tr.SetMeta("config", "test")
+	tr.SetProcessName(0, "dev0 (V100)")
+	tr.SetThreadName(0, 0, "compute")
+	tr.SetThreadName(0, 1, "H2D")
+	tr.Span(0, 0, "GEMM(1,0,0)", 0.001, 0.002, PrecisionColor("FP16_32"), map[string]any{"prec": "FP16_32"})
+	tr.Span(0, 1, "H2D 32 MiB", 0.0005, 0.0015, "", nil)
+	tr.CounterSample(0, "power", 0.001, map[string]float64{"W": 250})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+	if parsed.OtherData["config"] != "test" {
+		t.Errorf("otherData missing: %v", parsed.OtherData)
+	}
+	var spans, meta int
+	for _, e := range parsed.TraceEvents {
+		switch e.Phase {
+		case "X":
+			spans++
+			if e.Name == "GEMM(1,0,0)" {
+				if math.Abs(e.TS-1000) > 1e-9 || math.Abs(e.Dur-1000) > 1e-9 {
+					t.Errorf("span ts/dur = %g/%g µs, want 1000/1000", e.TS, e.Dur)
+				}
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans != 2 || meta != 3 {
+		t.Errorf("got %d spans, %d metadata events", spans, meta)
+	}
+	// Metadata must precede spans after sorting.
+	if parsed.TraceEvents[0].Phase != "M" {
+		t.Error("metadata events not first")
+	}
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be ≥ 0).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can move in both directions.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// SetMax stores v if it exceeds the current value.
+func (g *Gauge) SetMax(v float64) {
+	g.mu.Lock()
+	if v > g.v {
+		g.v = v
+	}
+	g.mu.Unlock()
+}
+
+// Add increments the gauge by v.
+func (g *Gauge) Add(v float64) {
+	g.mu.Lock()
+	g.v += v
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram accumulates observations into fixed upper-bound buckets plus
+// count/sum/min/max summaries. Buckets are cumulative-style upper bounds;
+// observations above the last bound land in an implicit +Inf bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is +Inf
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Buckets returns the bucket upper bounds and per-bucket counts (the last
+// count covers +Inf).
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...)
+}
+
+// MetricKind discriminates Snapshot entries.
+type MetricKind int
+
+// Snapshot entry kinds.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Metric is one Snapshot entry. For histograms, Value holds the sum and
+// Count the number of observations.
+type Metric struct {
+	Name  string
+	Kind  MetricKind
+	Value float64
+	Count int64
+}
+
+// Registry is a deterministic, goroutine-safe collection of named metrics.
+// Metrics are created on first use; snapshots iterate in sorted name order
+// so rendered output is reproducible.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds if needed (bounds are ignored on later calls).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset drops every metric (used between engine runs).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.hists = make(map[string]*Histogram)
+}
+
+// Snapshot returns every metric, sorted by name (counters and gauges first
+// by name, histograms interleaved by name as well).
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n, c := range r.counters {
+		out = append(out, Metric{Name: n, Kind: KindCounter, Value: float64(c.Value()), Count: c.Value()})
+	}
+	for n, g := range r.gauges {
+		out = append(out, Metric{Name: n, Kind: KindGauge, Value: g.Value()})
+	}
+	for n, h := range r.hists {
+		out = append(out, Metric{Name: n, Kind: KindHistogram, Value: h.Sum(), Count: h.Count()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteTo renders the registry as aligned "name value" text lines in sorted
+// order, implementing io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, m := range r.Snapshot() {
+		var line string
+		switch m.Kind {
+		case KindCounter:
+			line = fmt.Sprintf("%-44s %d\n", m.Name, m.Count)
+		case KindGauge:
+			line = fmt.Sprintf("%-44s %g\n", m.Name, m.Value)
+		case KindHistogram:
+			mean := 0.0
+			if m.Count > 0 {
+				mean = m.Value / float64(m.Count)
+			}
+			line = fmt.Sprintf("%-44s count=%d sum=%g mean=%g\n", m.Name, m.Count, m.Value, mean)
+		}
+		n, err := io.WriteString(w, line)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at lo
+// with the given growth factor — the usual shape for durations and sizes.
+func ExpBuckets(lo, factor float64, n int) []float64 {
+	if n <= 0 || lo <= 0 || factor <= 1 || math.IsInf(lo, 0) {
+		return nil
+	}
+	out := make([]float64, n)
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the run-invariant auditor (Engine.Audit). It checks
+// properties that should hold by construction in every run:
+//
+//   - accounting: a device's `used` counter always equals the sum of its
+//     resident entries' bytes;
+//   - residency: the LRU never holds more than the device memory while an
+//     evictable (unpinned) tile exists — over-commit is legal only when
+//     every resident tile is pinned by in-flight tasks;
+//   - pin balance: when the run completes, every pin taken at commit has
+//     been released, on every device;
+//   - energy conservation: the traced activity intervals, integrated as
+//     power·duration and added to idle·makespan, reproduce Stats.Energy to
+//     within floating-point reassociation error (relative 1e-9).
+//
+// Violations are collected (capped) rather than panicking, so a single run
+// reports every broken invariant at once.
+
+// maxAuditViolations bounds the collected report; past this the auditor
+// only counts.
+const maxAuditViolations = 16
+
+func (e *Engine) violate(format string, args ...any) {
+	if len(e.auditViol) < maxAuditViolations {
+		e.auditViol = append(e.auditViol, fmt.Sprintf(format, args...))
+	}
+}
+
+// auditResidency validates device d's LRU state right after task taskID
+// staged its tiles (the moment of maximal pressure).
+func (e *Engine) auditResidency(d *device, taskID int) {
+	var sum int64
+	unpinned := 0
+	for _, entry := range d.resident {
+		sum += entry.bytes
+		if entry.pins == 0 {
+			unpinned++
+		}
+	}
+	if sum != d.used {
+		e.violate("dev%d after task %d: used=%d but resident entries sum to %d", d.id, taskID, d.used, sum)
+	}
+	if d.used > d.spec.MemBytes && unpinned > 0 {
+		e.violate("dev%d after task %d: resident %d B exceeds memory %d B with %d evictable tile(s)",
+			d.id, taskID, d.used, d.spec.MemBytes, unpinned)
+	}
+	// The LRU list must contain exactly the map's entries.
+	n := 0
+	for entry := d.lruHead; entry != nil; entry = entry.next {
+		n++
+		if d.resident[entry.data] != entry {
+			e.violate("dev%d after task %d: LRU list entry %d not in resident map", d.id, taskID, entry.data)
+			break
+		}
+	}
+	if n != len(d.resident) {
+		e.violate("dev%d after task %d: LRU list has %d entries, map has %d", d.id, taskID, n, len(d.resident))
+	}
+}
+
+// auditFinal runs the end-of-run checks: pin balance and energy
+// conservation. Called after finalizeStats.
+func (e *Engine) auditFinal() {
+	for _, d := range e.devices {
+		for _, entry := range d.resident {
+			if entry.pins != 0 {
+				e.violate("dev%d at completion: tile %d still holds %d pin(s)", d.id, entry.data, entry.pins)
+			}
+		}
+	}
+
+	// Integrate the traced intervals and compare against the closed-form
+	// energy accrued during the run.
+	var traced float64
+	for _, d := range e.devices {
+		for _, ivs := range [][]Interval{d.busyIntervals, d.convIntervals, d.h2dIntervals, d.d2hIntervals} {
+			for _, iv := range ivs {
+				if iv.End < iv.Start {
+					e.violate("dev%d: interval ends (%g) before it starts (%g)", d.id, iv.End, iv.Start)
+				}
+				traced += (iv.End - iv.Start) * iv.Power
+			}
+		}
+		traced += d.spec.IdleW * e.stats.Makespan
+	}
+	if diff := math.Abs(traced - e.stats.Energy); diff > 1e-9*math.Max(1, math.Abs(e.stats.Energy)) {
+		e.violate("energy conservation: traced intervals integrate to %.12g J, Stats.Energy is %.12g J (diff %g)",
+			traced, e.stats.Energy, diff)
+	}
+}

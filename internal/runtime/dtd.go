@@ -69,6 +69,10 @@ type Access struct {
 	// this task (for Read accesses); Bytes is the resident footprint (for
 	// Write accesses).
 	WireBytes int64
+	// Prec labels the element format of the bytes above — the wire format
+	// for Read accesses, the storage format for Write accesses — mirroring
+	// InputSpec.WirePrec / OutputSpec.Prec.
+	Prec prec.Precision
 	// Receiver-side conversion, as in InputSpec.
 	ConvertElems     int
 	ConvFrom, ConvTo prec.Precision
@@ -99,7 +103,7 @@ func (g *DTDGraph) Insert(spec TaskSpec, accesses ...Access) (int, error) {
 	for _, a := range accesses {
 		switch a.Mode {
 		case Read:
-			in := InputSpec{Data: a.Data, WireBytes: a.WireBytes}
+			in := InputSpec{Data: a.Data, WireBytes: a.WireBytes, WirePrec: a.Prec}
 			if a.ConvertElems > 0 {
 				in.ConvertElems = a.ConvertElems
 				in.ConvFrom, in.ConvTo = a.ConvFrom, a.ConvTo
@@ -114,7 +118,7 @@ func (g *DTDGraph) Insert(spec TaskSpec, accesses ...Access) (int, error) {
 				return 0, fmt.Errorf("runtime: task %d declares multiple Write accesses", id)
 			}
 			wrote = true
-			t.spec.Output = OutputSpec{Data: a.Data, Bytes: a.WireBytes}
+			t.spec.Output = OutputSpec{Data: a.Data, Bytes: a.WireBytes, Prec: a.Prec}
 			if w, ok := g.lastWriter[a.Data]; ok {
 				addDep(w)
 			}

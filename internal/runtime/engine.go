@@ -7,6 +7,8 @@ import (
 	gort "runtime"
 
 	"geompc/internal/hw"
+	"geompc/internal/obs"
+	"geompc/internal/prec"
 )
 
 // Engine executes a Graph on a Platform, producing virtual-time statistics
@@ -19,25 +21,44 @@ type Engine struct {
 	// (used by the Fig 9/10 experiments; costs memory on large runs).
 	Trace bool
 
+	// Audit enables the run-invariant auditor: pin-count balance at
+	// completion, LRU residency within device memory whenever evictable
+	// tiles exist, and exact energy conservation between the interval
+	// traces and Stats.Energy. Auditing forces Trace on; Run returns an
+	// error listing the violations, if any.
+	Audit bool
+
 	// Lookahead is the number of tasks each device pipeline accepts ahead
 	// of execution (stream double-buffering). Default 2.
 	Lookahead int
 
-	devices   []*device
-	nicFree   []float64
-	hostAvail map[hostKey]float64
-	pending   []int32
-	events    eventHeap
-	seq       int64
-	now       float64
-	succBuf   []int
-	inflight  int
-	done      int
-	dirtyDevs []int
+	devices      []*device
+	nicFree      []float64
+	nicIntervals [][]Interval // per rank, Trace only
+	hostAvail    map[hostKey]float64
+	pending      []int32
+	events       eventHeap
+	seq          int64
+	now          float64
+	succBuf      []int
+	inflight     int
+	done         int
+	dirtyDevs    []int
 
 	workers *workerPool
 
 	schedule []ScheduledTask
+
+	// observability: per-wire-precision byte totals, the schedule digest,
+	// the metrics registry resolved once per run, and audit violations.
+	bytesH2D  [prec.Count]int64
+	bytesD2H  [prec.Count]int64
+	bytesNet  [prec.Count]int64
+	digest    obs.Digest
+	metrics   *obs.Registry
+	hTaskSec  *obs.Histogram
+	hH2DBytes *obs.Histogram
+	auditViol []string
 
 	stats Stats
 }
@@ -48,6 +69,7 @@ type ScheduledTask struct {
 	ID         int
 	Kind       hw.KernelKind
 	Device     int
+	Prec       prec.Precision
 	Start, End float64
 }
 
@@ -75,6 +97,12 @@ type Stats struct {
 	AvgPower float64
 	// Tasks executed.
 	Tasks int
+	// ScheduleDigest is an FNV-1a hash over every committed task's
+	// (kind, device, start, end, bytes) record. Equal digests prove two
+	// runs produced bit-identical schedules — across GOMAXPROCS settings
+	// and across the PTG and DTD front-ends (task ids are not hashed
+	// because the front-ends number tasks differently).
+	ScheduleDigest uint64
 	// Per-device aggregates.
 	Devices []DeviceStats
 }
@@ -123,25 +151,43 @@ type flight struct {
 
 // New prepares an engine for one run of g on plat.
 func New(plat *Platform, g Graph) *Engine {
-	return &Engine{plat: plat, g: g, Lookahead: 2}
+	return &Engine{plat: plat, g: g, Lookahead: 2, metrics: obs.NewRegistry()}
 }
+
+// Metrics returns the engine's metrics registry, populated by Run (and
+// reset at the start of every Run).
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Run executes the task system to completion and returns the run's
 // statistics. It panics on malformed graphs (missing data, dependency
-// cycles leave tasks unexecuted and are reported as an error).
+// cycles leave tasks unexecuted and are reported as an error). With Audit
+// enabled, invariant violations are reported as an error after the run.
 func (e *Engine) Run() (Stats, error) {
+	if e.Audit {
+		e.Trace = true // the energy-conservation check needs the intervals
+	}
 	n := e.g.NumTasks()
 	e.devices = make([]*device, e.plat.NumDevices())
 	for i := range e.devices {
 		e.devices[i] = newDevice(i, e.plat.RankOfDevice(i), e.plat.Node.GPU, e.Trace)
 	}
 	e.nicFree = make([]float64, e.plat.Ranks)
+	e.nicIntervals = nil
+	if e.Trace {
+		e.nicIntervals = make([][]Interval, e.plat.Ranks)
+	}
 	e.hostAvail = make(map[hostKey]float64)
 	e.pending = make([]int32, n)
 	e.events = e.events[:0]
 	e.now, e.seq, e.inflight, e.done = 0, 0, 0, 0
 	e.stats = Stats{}
 	e.schedule = e.schedule[:0]
+	e.bytesH2D, e.bytesD2H, e.bytesNet = [prec.Count]int64{}, [prec.Count]int64{}, [prec.Count]int64{}
+	e.digest = obs.Digest{}
+	e.auditViol = e.auditViol[:0]
+	e.metrics.Reset()
+	e.hTaskSec = e.metrics.Histogram("engine/task_seconds", obs.ExpBuckets(1e-6, 4, 16))
+	e.hH2DBytes = e.metrics.Histogram("engine/h2d_bytes", obs.ExpBuckets(4096, 4, 16))
 	e.workers = newWorkerPool(gort.GOMAXPROCS(0))
 	defer e.workers.close()
 
@@ -169,8 +215,18 @@ func (e *Engine) Run() (Stats, error) {
 		return Stats{}, fmt.Errorf("runtime: %d of %d tasks never became ready (dependency cycle or missing data)", n-e.done, n)
 	}
 	e.finalizeStats()
+	if e.Audit {
+		e.auditFinal()
+		if len(e.auditViol) > 0 {
+			return e.stats, fmt.Errorf("runtime: audit found %d invariant violation(s): %v", len(e.auditViol), e.auditViol)
+		}
+	}
 	return e.stats, nil
 }
+
+// AuditViolations returns the invariant violations collected during an
+// audited run (nil when clean or when Audit was off).
+func (e *Engine) AuditViolations() []string { return e.auditViol }
 
 func (e *Engine) enqueueReady(id int) int {
 	spec := &TaskSpec{}
@@ -181,6 +237,9 @@ func (e *Engine) enqueueReady(id int) int {
 	}
 	d := e.devices[spec.Device]
 	heap.Push(d.ready, spec)
+	if d.ready.Len() > d.maxReady {
+		d.maxReady = d.ready.Len()
+	}
 	return d.id
 }
 
@@ -196,20 +255,24 @@ func (e *Engine) tryCommit(d *device) {
 func (e *Engine) commit(d *device, spec *TaskSpec) {
 	stagingEnd := e.now
 	var sink evictSink
+	var stagedBytes int64
 
-	stage := func(data DataID, bytes int64, isOutput bool) {
+	stage := func(data DataID, bytes int64, wp prec.Precision, isOutput bool) {
+		stagedBytes += bytes
 		if entry := d.touch(data); entry != nil {
 			d.pin(data)
+			d.stats.LRUHits++
 			if isOutput {
 				entry.hostCopy = false // it is about to be overwritten
 			}
 			return
 		}
+		d.stats.LRUMisses++
 		avail, ok := e.hostAvail[hostKey{d.rank, data}]
 		if !ok {
 			if isOutput {
 				// Fresh output with no prior contents: allocate only.
-				d.insert(data, bytes, false, e.now, &sink)
+				d.insert(data, bytes, wp, false, e.now, &sink)
 				d.pin(data)
 				return
 			}
@@ -218,27 +281,33 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 		start := math.Max(d.h2dFree, math.Max(avail, e.now))
 		dur := d.spec.H2DTime(bytes)
 		d.h2dFree = start + dur
+		d.h2dBusy += dur
 		d.stats.BytesH2D += bytes
+		e.bytesH2D[wp] += bytes
 		d.stats.TransferTime += dur
 		if d.trace {
-			d.xferIntervals = append(d.xferIntervals, Interval{start, start + dur, d.spec.TransferW})
+			d.h2dIntervals = append(d.h2dIntervals, Interval{Start: start, End: start + dur, Power: d.spec.TransferW, Bytes: bytes})
 		}
+		e.hH2DBytes.Observe(float64(bytes))
 		d.stats.DynEnergy += d.spec.TransferW * dur
 		if start+dur > stagingEnd {
 			stagingEnd = start + dur
 		}
-		d.insert(data, bytes, !isOutput, e.now, &sink)
+		d.insert(data, bytes, wp, !isOutput, e.now, &sink)
 		d.pin(data)
 	}
 
 	for i := range spec.Inputs {
 		in := &spec.Inputs[i]
-		stage(in.Data, in.WireBytes, false)
+		stage(in.Data, in.WireBytes, in.WirePrec, false)
 	}
 	if spec.Output.Data >= 0 {
-		stage(spec.Output.Data, spec.Output.Bytes, true)
+		stage(spec.Output.Data, spec.Output.Bytes, spec.Output.Prec, true)
 	}
 	e.drainWritebacks(d, &sink)
+	if e.Audit {
+		e.auditResidency(d, spec.ID)
+	}
 
 	// Receiver-side conversions run on the compute stream before the kernel.
 	var convDur float64
@@ -265,11 +334,24 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 	dynW := d.spec.DynPower(spec.Prec)
 	d.stats.DynEnergy += dynW*kernelDur + convPowerFrac*(d.spec.TDP-d.spec.IdleW)*convDur
 	if d.trace {
-		d.busyIntervals = append(d.busyIntervals, Interval{start, end, dynW})
+		// Conversion and kernel windows carry their own power levels so the
+		// traced intervals integrate exactly to the energy accrued above.
+		if convDur > 0 {
+			d.convIntervals = append(d.convIntervals, Interval{Start: start, End: start + convDur, Power: convPowerFrac * (d.spec.TDP - d.spec.IdleW)})
+		}
+		if end > start+convDur {
+			d.busyIntervals = append(d.busyIntervals, Interval{Start: start + convDur, End: end, Power: dynW})
+		}
 		e.schedule = append(e.schedule, ScheduledTask{
-			ID: spec.ID, Kind: spec.Kind, Device: spec.Device, Start: start, End: end,
+			ID: spec.ID, Kind: spec.Kind, Device: spec.Device, Prec: spec.Prec, Start: start, End: end,
 		})
 	}
+	e.hTaskSec.Observe(end - start)
+	e.digest.WriteString(string(spec.Kind))
+	e.digest.WriteInt64(int64(spec.Device))
+	e.digest.WriteFloat64(start)
+	e.digest.WriteFloat64(end)
+	e.digest.WriteInt64(stagedBytes)
 
 	f := &flight{spec: spec, end: end}
 	if spec.Body != nil {
@@ -295,9 +377,14 @@ func (e *Engine) drainWritebacks(d *device, sink *evictSink) {
 		start := math.Max(d.d2hFree, e.now)
 		dur := d.spec.D2HTime(wb.bytes)
 		d.d2hFree = start + dur
+		d.d2hBusy += dur
 		d.stats.BytesD2H += wb.bytes
+		e.bytesD2H[wb.prec] += wb.bytes
 		d.stats.TransferTime += dur
 		d.stats.DynEnergy += d.spec.TransferW * dur
+		if d.trace {
+			d.d2hIntervals = append(d.d2hIntervals, Interval{Start: start, End: start + dur, Power: d.spec.TransferW, Bytes: wb.bytes})
+		}
 		e.hostAvail[hostKey{d.rank, wb.data}] = start + dur
 	}
 	sink.writebacks = sink.writebacks[:0]
@@ -305,6 +392,14 @@ func (e *Engine) drainWritebacks(d *device, sink *evictSink) {
 
 // complete processes a task's completion event: joins the numeric body,
 // publishes the output, and releases successors.
+//
+// The flight.result join is the synchronization point between virtual and
+// real time: a task's numeric body runs on the worker pool as soon as the
+// task commits, but its *effects* (the produced tile, the error flag) may
+// only be observed by successors after this receive, which blocks until the
+// body's goroutine closes the channel. Virtual completion order therefore
+// bounds real dataflow order — successors never read a tile whose producer
+// body is still running, regardless of GOMAXPROCS.
 func (e *Engine) complete(f *flight) {
 	spec := f.spec
 	d := e.devices[spec.Device]
@@ -364,19 +459,21 @@ func (e *Engine) publish(d *device, spec *TaskSpec, p *PublishSpec) {
 		d.stats.ConvertKernels++
 		e.stats.SenderConversions++
 		if d.trace {
-			d.busyIntervals = append(d.busyIntervals, Interval{start, t, convPowerFrac * (d.spec.TDP - d.spec.IdleW)})
+			d.convIntervals = append(d.convIntervals, Interval{Start: start, End: t, Power: convPowerFrac * (d.spec.TDP - d.spec.IdleW)})
 		}
 	}
 	// D2H of the wire representation.
 	start := math.Max(d.d2hFree, t)
 	dur := d.spec.D2HTime(p.WireBytes)
 	d.d2hFree = start + dur
+	d.d2hBusy += dur
 	hostAt := start + dur
 	d.stats.BytesD2H += p.WireBytes
+	e.bytesD2H[p.WirePrec] += p.WireBytes
 	d.stats.TransferTime += dur
 	d.stats.DynEnergy += d.spec.TransferW * dur
 	if d.trace {
-		d.xferIntervals = append(d.xferIntervals, Interval{start, hostAt, d.spec.TransferW})
+		d.d2hIntervals = append(d.d2hIntervals, Interval{Start: start, End: hostAt, Power: d.spec.TransferW, Bytes: p.WireBytes})
 	}
 	e.hostAvail[hostKey{d.rank, spec.Output.Data}] = hostAt
 	if entry := d.resident[spec.Output.Data]; entry != nil {
@@ -391,9 +488,14 @@ func (e *Engine) publish(d *device, spec *TaskSpec, p *PublishSpec) {
 		e.nicFree[d.rank] = nstart + hop
 		hops := math.Ceil(math.Log2(float64(len(p.RemoteRanks)) + 1))
 		arrival := nstart + hop*hops
+		if e.nicIntervals != nil {
+			e.nicIntervals[d.rank] = append(e.nicIntervals[d.rank],
+				Interval{Start: nstart, End: nstart + hop, Bytes: p.WireBytes})
+		}
 		for _, rr := range p.RemoteRanks {
 			e.hostAvail[hostKey{rr, spec.Output.Data}] = arrival
 			e.stats.BytesNet += p.WireBytes
+			e.bytesNet[p.WirePrec] += p.WireBytes
 		}
 	}
 }
@@ -420,12 +522,78 @@ func (e *Engine) finalizeStats() {
 	if makespan > 0 {
 		e.stats.AvgPower = energy / makespan
 	}
+	e.stats.ScheduleDigest = e.digest.Sum()
+	e.publishMetrics(makespan)
 }
 
-// Devices exposes the simulated devices' traces after a run (valid until
-// the next Run).
+// publishMetrics pours the run's aggregates into the metrics registry.
+func (e *Engine) publishMetrics(makespan float64) {
+	m := e.metrics
+	m.Counter("engine/tasks").Add(int64(e.stats.Tasks))
+	m.Counter("engine/conversions/stc").Add(int64(e.stats.SenderConversions))
+	m.Counter("engine/conversions/ttc").Add(int64(e.stats.ReceiverConversions))
+	m.Gauge("engine/makespan_seconds").Set(makespan)
+	m.Gauge("engine/energy_joules").Set(e.stats.Energy)
+	for p := prec.Precision(0); int(p) < prec.Count; p++ {
+		if v := e.bytesH2D[p]; v > 0 {
+			m.Counter("engine/bytes_h2d/" + p.String()).Add(v)
+		}
+		if v := e.bytesD2H[p]; v > 0 {
+			m.Counter("engine/bytes_d2h/" + p.String()).Add(v)
+		}
+		if v := e.bytesNet[p]; v > 0 {
+			m.Counter("engine/bytes_net/" + p.String()).Add(v)
+		}
+	}
+	var hits, misses int64
+	var evictions, writebacks int
+	for _, d := range e.devices {
+		hits += d.stats.LRUHits
+		misses += d.stats.LRUMisses
+		evictions += d.stats.Evictions
+		writebacks += d.stats.Writebacks
+		pfx := fmt.Sprintf("engine/dev%d/", d.id)
+		m.Gauge(pfx + "queue_depth_max").Set(float64(d.maxReady))
+		m.Gauge(pfx + "peak_resident_bytes").Set(float64(d.stats.PeakResident))
+		m.Gauge(pfx + "idle_compute_seconds").Set(math.Max(0, makespan-d.stats.BusyTime))
+		m.Gauge(pfx + "idle_h2d_seconds").Set(math.Max(0, makespan-d.h2dBusy))
+		m.Gauge(pfx + "idle_d2h_seconds").Set(math.Max(0, makespan-d.d2hBusy))
+	}
+	m.Counter("engine/lru/hits").Add(hits)
+	m.Counter("engine/lru/misses").Add(misses)
+	m.Counter("engine/lru/evictions").Add(int64(evictions))
+	m.Counter("engine/lru/writebacks").Add(int64(writebacks))
+}
+
+// DeviceTrace returns device i's traced compute-stream intervals (kernels
+// and datatype conversions, each carrying its dynamic power draw) and
+// host-link transfer intervals (H2D staging, D2H publishes and writebacks),
+// recorded during a Trace-enabled run. Slices are rebuilt views; the
+// underlying intervals stay valid until the next Run.
 func (e *Engine) DeviceTrace(i int) (busy, xfer []Interval) {
-	return e.devices[i].busyIntervals, e.devices[i].xferIntervals
+	d := e.devices[i]
+	busy = make([]Interval, 0, len(d.busyIntervals)+len(d.convIntervals))
+	busy = append(append(busy, d.busyIntervals...), d.convIntervals...)
+	xfer = make([]Interval, 0, len(d.h2dIntervals)+len(d.d2hIntervals))
+	xfer = append(append(xfer, d.h2dIntervals...), d.d2hIntervals...)
+	return busy, xfer
+}
+
+// StreamIntervals exposes device i's per-stream traces individually:
+// kernel execution, datatype conversions (both on the compute stream), and
+// the H2D/D2H host-link directions. Valid until the next Run.
+func (e *Engine) StreamIntervals(i int) (kernel, conv, h2d, d2h []Interval) {
+	d := e.devices[i]
+	return d.busyIntervals, d.convIntervals, d.h2dIntervals, d.d2hIntervals
+}
+
+// NICIntervals returns the traced send-side NIC occupancy of a rank's
+// broadcasts (first hop per publish). Nil when tracing was off.
+func (e *Engine) NICIntervals(rank int) []Interval {
+	if e.nicIntervals == nil {
+		return nil
+	}
+	return e.nicIntervals[rank]
 }
 
 // ScheduleTrace returns the ordered task placements recorded during a

@@ -1,0 +1,87 @@
+package runtime
+
+import (
+	"testing"
+
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+)
+
+// FuzzValidate drives the DTD front-end with arbitrary insertion sequences
+// and checks that (a) the inferred edge structure always passes Validate —
+// in-degrees match successor lists and no cycle can arise from sequential
+// insertion — and (b) the engine executes the resulting graph to completion
+// under the invariant auditor without panicking.
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x12, 0x34, 0x56})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x81, 0x7e})
+	f.Add([]byte("read-write-interleave"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const pool = 8 // distinct tiles
+		g := NewDTDGraph()
+		for d := 0; d < pool; d++ {
+			g.Data(DataID(d), 0)
+		}
+		// Each byte inserts one task: the low three bits pick the tile it
+		// reads, the next three the tile it writes, bit 6 adds a second read,
+		// bit 7 adds a receiver-side conversion. Capped to keep runs small.
+		n := len(data)
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			b := data[i]
+			read := DataID(b & 7)
+			write := DataID((b >> 3) & 7)
+			accesses := []Access{{Data: read, Mode: Read, WireBytes: 4096, Prec: prec.FP32}}
+			if b&0x40 != 0 {
+				accesses = append(accesses, Access{
+					Data: DataID((int(read) + 1) % pool), Mode: Read,
+					WireBytes: 2048, Prec: prec.FP16,
+				})
+			}
+			if b&0x80 != 0 {
+				accesses[0].ConvertElems = 512
+				accesses[0].ConvFrom, accesses[0].ConvTo = prec.FP16, prec.FP32
+			}
+			accesses = append(accesses, Access{Data: write, Mode: Write, WireBytes: 8192, Prec: prec.FP64})
+			if _, err := g.Insert(TaskSpec{
+				Kind: hw.KindGemm, Device: 0, Prec: prec.FP64, Flops: 1e6,
+			}, accesses...); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+
+		if err := Validate(g); err != nil {
+			t.Fatalf("inferred graph fails validation: %v", err)
+		}
+		// In-degree / successor round trip, beyond what Validate reports.
+		var buf []int
+		for id := 0; id < g.NumTasks(); id++ {
+			buf = g.Successors(id, buf[:0])
+			for _, s := range buf {
+				if s <= id {
+					t.Fatalf("task %d lists non-forward successor %d", id, s)
+				}
+			}
+		}
+		if g.NumTasks() == 0 {
+			return
+		}
+		plat, err := NewPlatform(hw.SummitNode, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := New(plat, g)
+		eng.Audit = true
+		st, err := eng.Run()
+		if err != nil {
+			t.Fatalf("audited run failed: %v", err)
+		}
+		if st.Tasks != g.NumTasks() {
+			t.Fatalf("executed %d of %d tasks", st.Tasks, g.NumTasks())
+		}
+	})
+}

@@ -33,6 +33,10 @@ type DataID int64
 type InputSpec struct {
 	Data      DataID
 	WireBytes int64
+	// WirePrec is the element format the tile travels in (labels the
+	// per-precision byte counters of the metrics registry). The zero value
+	// is FP64.
+	WirePrec prec.Precision
 	// Receiver-side conversion (TTC): number of elements to convert on the
 	// consuming device before the kernel runs; 0 if none.
 	ConvertElems     int
@@ -40,10 +44,12 @@ type InputSpec struct {
 }
 
 // OutputSpec declares the tile a task writes. Bytes is the device-resident
-// footprint (the tile's storage precision).
+// footprint (the tile's storage precision); Prec labels that footprint's
+// element format for the metrics registry (zero value FP64).
 type OutputSpec struct {
 	Data  DataID
 	Bytes int64
+	Prec  prec.Precision
 }
 
 // PublishSpec describes what happens when a task's output must be made
@@ -52,6 +58,9 @@ type OutputSpec struct {
 // remote ranks.
 type PublishSpec struct {
 	WireBytes int64
+	// WirePrec labels the wire format of the D2H copy and broadcast for the
+	// per-precision byte counters (zero value FP64).
+	WirePrec prec.Precision
 	// Sender-side conversion (STC): elements converted on the producer
 	// device before the D2H copy; 0 under TTC.
 	ConvertElems     int

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"geompc/internal/hw"
+	"geompc/internal/prec"
 )
 
 // Platform is the machine a run executes on: `Ranks` processes, each owning
@@ -53,6 +54,7 @@ type device struct {
 	d2hFree     float64
 
 	committed int // tasks accepted into the stream pipeline, not yet done
+	maxReady  int // deepest the ready queue ever got (queue-depth metric)
 
 	resident map[DataID]*residentEntry
 	// lruHead/lruTail form an intrusive recency list: head = most recently
@@ -64,16 +66,24 @@ type device struct {
 
 	stats DeviceStats
 
-	// tracing (optional): busy intervals of the compute stream with the
-	// dynamic power drawn, plus host-link transfer intervals.
+	// per-stream busy totals (always tracked; feed the stream-idle metrics).
+	h2dBusy, d2hBusy float64
+
+	// tracing (optional): one interval slice per stream. The power carried
+	// by each interval times its duration is exactly the dynamic energy the
+	// engine accrued for that activity, so ∑ interval·watts + idle·makespan
+	// reconstructs Stats.Energy bit-for-bit (the auditor checks this).
 	trace         bool
-	busyIntervals []Interval
-	xferIntervals []Interval
+	busyIntervals []Interval // compute stream: kernel execution
+	convIntervals []Interval // compute stream: datatype conversions (STC+TTC)
+	h2dIntervals  []Interval
+	d2hIntervals  []Interval
 }
 
 type residentEntry struct {
 	data       DataID
 	bytes      int64
+	prec       prec.Precision // wire/storage format of the resident copy
 	pins       int
 	hostCopy   bool // a host copy exists; eviction needs no writeback
 	prev, next *residentEntry
@@ -88,6 +98,8 @@ type DeviceStats struct {
 	BytesD2H       int64
 	Evictions      int
 	Writebacks     int
+	LRUHits        int64 // staged tile already resident (no transfer)
+	LRUMisses      int64 // staged tile absent (transfer or fresh allocation)
 	DynEnergy      float64 // joules above idle
 	PeakResident   int64
 	ConvertKernels int
@@ -97,6 +109,7 @@ type DeviceStats struct {
 type Interval struct {
 	Start, End float64
 	Power      float64 // dynamic watts during the window (trace use)
+	Bytes      int64   // bytes moved, for transfer streams (0 for compute)
 }
 
 func newDevice(id, rank int, spec *hw.GPUSpec, trace bool) *device {
@@ -147,7 +160,7 @@ func (d *device) touch(id DataID) *residentEntry {
 // insert adds a resident copy, evicting LRU entries as needed. It returns
 // the time at which required writebacks complete (0 when none), so callers
 // can order dependent transfers, and records eviction statistics.
-func (d *device) insert(id DataID, bytes int64, hostCopy bool, now float64, ev *evictSink) {
+func (d *device) insert(id DataID, bytes int64, p prec.Precision, hostCopy bool, now float64, ev *evictSink) {
 	if e := d.resident[id]; e != nil {
 		d.lruUnlink(e)
 		d.lruFront(e)
@@ -155,13 +168,14 @@ func (d *device) insert(id DataID, bytes int64, hostCopy bool, now float64, ev *
 			d.used += bytes - e.bytes
 			e.bytes = bytes
 		}
+		e.prec = p
 		e.hostCopy = e.hostCopy || hostCopy
 		return
 	}
 	// Make room first so the new entry can never evict itself; if every
 	// resident tile is pinned the device over-commits instead.
 	d.evictTo(d.spec.MemBytes-bytes, now, ev)
-	e := &residentEntry{data: id, bytes: bytes, hostCopy: hostCopy}
+	e := &residentEntry{data: id, bytes: bytes, prec: p, hostCopy: hostCopy}
 	d.resident[id] = e
 	d.lruFront(e)
 	d.used += bytes
@@ -179,6 +193,7 @@ type evictSink struct {
 type evicted struct {
 	data  DataID
 	bytes int64
+	prec  prec.Precision
 }
 
 func (d *device) evictTo(capacity int64, now float64, ev *evictSink) {
@@ -194,7 +209,7 @@ func (d *device) evictTo(capacity int64, now float64, ev *evictSink) {
 			continue
 		}
 		if !e.hostCopy && ev != nil {
-			ev.writebacks = append(ev.writebacks, evicted{e.data, e.bytes})
+			ev.writebacks = append(ev.writebacks, evicted{e.data, e.bytes, e.prec})
 			d.stats.Writebacks++
 		}
 		d.used -= e.bytes
