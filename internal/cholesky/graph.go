@@ -108,6 +108,11 @@ func wireFormat(p prec.Precision) prec.Precision {
 // execInputFormat is the element format a kernel consumes its inputs in.
 func execInputFormat(p prec.Precision) prec.Precision { return wireFormat(p) }
 
+// DataIDBound implements runtime.DataBounder: tile ids pack as i·nt+j, so
+// every DataID lies below nt², letting the engine index host availability
+// densely instead of through a map.
+func (g *graph) DataIDBound() int64 { return int64(g.nt) * int64(g.nt) }
+
 // NumPredecessors implements runtime.Graph.
 func (g *graph) NumPredecessors(id int) int {
 	op, m, _, k := g.decode(id)
@@ -199,8 +204,9 @@ func (g *graph) priority(op, m, n, k int) int64 {
 }
 
 // consumerSpread collects the distinct ranks (≠ producer's) among the
-// consumer tiles listed by visit — the network broadcast targets.
-func (g *graph) consumerSpread(prodDev int, tiles func(visit func(i, j int))) (remote []int) {
+// consumer tiles listed by visit — the network broadcast targets. Results
+// append to buf (pass a recycled slice to stay allocation-free).
+func (g *graph) consumerSpread(buf []int, prodDev int, tiles func(visit func(i, j int))) []int {
 	g.stamp++
 	prodRank := g.plat.RankOfDevice(prodDev)
 	tiles(func(i, j int) {
@@ -210,10 +216,19 @@ func (g *graph) consumerSpread(prodDev int, tiles func(visit func(i, j int))) (r
 		}
 		if g.rankSeen[r] != g.stamp {
 			g.rankSeen[r] = g.stamp
-			remote = append(remote, r)
+			buf = append(buf, r)
 		}
 	})
-	return remote
+	return buf
+}
+
+// reusePublish hands back the spec's recycled PublishSpec (the engine
+// returns completed specs with their allocations intact) or a fresh one.
+func reusePublish(s *runtime.TaskSpec) *runtime.PublishSpec {
+	if p := s.Publish; p != nil {
+		return p
+	}
+	return &runtime.PublishSpec{}
 }
 
 // Spec implements runtime.Graph.
@@ -229,16 +244,17 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Prec = g.maps.Kernel[k][k]
 		s.Flops = bd(k) * bd(k) * bd(k) / 3
 		s.Priority = g.priority(op, k, 0, k)
-		s.Inputs = nil
+		s.Inputs = s.Inputs[:0]
 		s.Output = runtime.OutputSpec{Data: g.dataID(k, k), Bytes: g.storageBytes(k, k), Prec: wireFormat(g.maps.Storage[k][k])}
 		if k < nt-1 {
-			remote := g.consumerSpread(s.Device, func(visit func(i, j int)) {
+			pub := reusePublish(s)
+			remote := g.consumerSpread(pub.RemoteRanks[:0], s.Device, func(visit func(i, j int)) {
 				for i := k + 1; i < nt; i++ {
 					visit(i, k)
 				}
 			})
 			wp := g.wirePrec(k, k)
-			pub := &runtime.PublishSpec{
+			*pub = runtime.PublishSpec{
 				WireBytes:   g.wireBytes(k, k),
 				WirePrec:    wireFormat(wp),
 				RemoteRanks: remote,
@@ -262,7 +278,8 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Inputs = s.Inputs[:0]
 		s.Inputs = append(s.Inputs, g.inputSpec(k, k, s.Device, execInputFormat(s.Prec)))
 		s.Output = runtime.OutputSpec{Data: g.dataID(m, k), Bytes: g.storageBytes(m, k), Prec: wireFormat(g.maps.Storage[m][k])}
-		remote := g.consumerSpread(s.Device, func(visit func(i, j int)) {
+		pub := reusePublish(s)
+		remote := g.consumerSpread(pub.RemoteRanks[:0], s.Device, func(visit func(i, j int)) {
 			visit(m, m) // SYRK
 			for j := k + 1; j < m; j++ {
 				visit(m, j)
@@ -272,7 +289,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 			}
 		})
 		wp := g.wirePrec(m, k)
-		pub := &runtime.PublishSpec{
+		*pub = runtime.PublishSpec{
 			WireBytes:   g.wireBytes(m, k),
 			WirePrec:    wireFormat(wp),
 			RemoteRanks: remote,

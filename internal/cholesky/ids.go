@@ -6,10 +6,7 @@
 // every communication (STC at the sender or TTC at the receiver).
 package cholesky
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // Task kinds, in id-segment order.
 const (
@@ -37,11 +34,23 @@ type ids struct {
 	syrkBase int
 	gemmBase int
 	numTasks int
+	// Inversion tables: pyr[m] = m(m-1)/2 and tri[m] = C(m,3) for
+	// m ∈ [0, nt]. Decoding an id binary-searches these instead of taking
+	// float square/cube roots — decode runs three-plus times per task on
+	// the phantom scale path, and nt+1 ints stay cache-resident.
+	pyr []int
+	tri []int
 }
 
 func newIDs(nt int) ids {
 	pairs := nt * (nt - 1) / 2
 	triples := nt * (nt - 1) * (nt - 2) / 6
+	pyr := make([]int, nt+1)
+	tri := make([]int, nt+1)
+	for m := 0; m <= nt; m++ {
+		pyr[m] = m * (m - 1) / 2
+		tri[m] = c3(m)
+	}
 	return ids{
 		nt:       nt,
 		pairs:    pairs,
@@ -50,21 +59,26 @@ func newIDs(nt int) ids {
 		syrkBase: nt + pairs,
 		gemmBase: nt + 2*pairs,
 		numTasks: nt + 2*pairs + triples,
+		pyr:      pyr,
+		tri:      tri,
 	}
 }
 
 func pairIdx(m, k int) int { return m*(m-1)/2 + k }
 
-// unpair inverts pairIdx: returns (m, k) with k < m.
-func unpair(idx int) (m, k int) {
-	m = int((1 + math.Sqrt(float64(1+8*idx))) / 2)
-	for m*(m-1)/2 > idx {
-		m--
+// unpair inverts pairIdx: returns (m, k) with k < m, where m is the largest
+// value with pyr[m] ≤ idx.
+func (s *ids) unpair(idx int) (m, k int) {
+	lo, hi := 1, s.nt
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if s.pyr[mid] <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
 	}
-	for (m+1)*m/2 <= idx {
-		m++
-	}
-	return m, idx - m*(m-1)/2
+	return lo, idx - s.pyr[lo]
 }
 
 func c3(m int) int { return m * (m - 1) * (m - 2) / 6 }
@@ -72,17 +86,18 @@ func c3(m int) int { return m * (m - 1) * (m - 2) / 6 }
 func tripleIdx(m, n, k int) int { return c3(m) + n*(n-1)/2 + k }
 
 // untriple inverts tripleIdx: returns (m, n, k) with k < n < m.
-func untriple(idx int) (m, n, k int) {
-	m = int(math.Cbrt(float64(6*idx))) + 1
-	for c3(m) > idx {
-		m--
+func (s *ids) untriple(idx int) (m, n, k int) {
+	lo, hi := 2, s.nt
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if s.tri[mid] <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
 	}
-	for c3(m+1) <= idx {
-		m++
-	}
-	rem := idx - c3(m)
-	n, k = unpair(rem)
-	return m, n, k
+	n, k = s.unpair(idx - s.tri[lo])
+	return lo, n, k
 }
 
 func (s ids) potrf(k int) int      { return k }
@@ -97,13 +112,13 @@ func (s ids) decode(id int) (op, m, n, k int) {
 	case id < s.trsmBase:
 		return opPotrf, id, 0, id
 	case id < s.syrkBase:
-		m, k = unpair(id - s.trsmBase)
+		m, k = s.unpair(id - s.trsmBase)
 		return opTrsm, m, 0, k
 	case id < s.gemmBase:
-		m, k = unpair(id - s.syrkBase)
+		m, k = s.unpair(id - s.syrkBase)
 		return opSyrk, m, 0, k
 	case id < s.numTasks:
-		m, n, k = untriple(id - s.gemmBase)
+		m, n, k = s.untriple(id - s.gemmBase)
 		return opGemm, m, n, k
 	}
 	panic(fmt.Sprintf("cholesky: task id %d out of range [0,%d)", id, s.numTasks))

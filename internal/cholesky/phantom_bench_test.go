@@ -10,6 +10,27 @@ import (
 	"geompc/internal/tile"
 )
 
+// BenchmarkPhantomNT64 measures phantom-mode overhead per task on a small
+// 4-node platform at NT=64 (~47k tasks) — the benchmark-trajectory point
+// tracked in BENCH_kernels.json (allocs/op is the headline number: phantom
+// task dispatch should be allocation-free in steady state).
+func BenchmarkPhantomNT64(b *testing.B) {
+	nt, ts := 64, 2048
+	d, _ := tile.NewDesc(nt*ts, ts, 2, 2)
+	maps := precmap.New(precmap.UniformAll(nt, prec.FP64), 0)
+	plat, _ := runtime.NewPlatform(hw.SummitNode, 4, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{Desc: d, Maps: maps, Platform: plat})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	b.ReportMetric(float64(nt*(nt+1)*(nt+2)/6)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
 // BenchmarkPhantomLarge measures the engine's phantom-mode task throughput
 // on a 24-node/144-GPU platform with NT=120 (~300k tasks) — the figure that
 // bounds how long the Summit-scale Fig 12 simulations take.

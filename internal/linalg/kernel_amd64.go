@@ -1,0 +1,34 @@
+//go:build amd64
+
+package linalg
+
+// SSE2 micro-kernel dot products. Each XMM lane holds ONE output element's
+// accumulator, so every element still sums its products in strictly
+// increasing l order with one rounding per add — packed MULPD/ADDPD are
+// per-lane IEEE-754 ops identical to their scalar forms, which makes the
+// SIMD kernels bit-identical to the seed triple loops (pinned by the golden
+// digests). SSE2 is part of the amd64 v1 baseline, so no feature detection
+// is needed. FMA is deliberately not used: it would skip the intermediate
+// rounding and change results.
+
+// dotNT4x2f64 computes s[i*2+jj] = Σ_l ai[l]·b(jj)[l] for four A rows
+// against one pair-interleaved B block (bp[2l+jj] = b(jj)[l]). k > 0.
+//
+//go:noescape
+func dotNT4x2f64(k int, a0, a1, a2, a3, bp []float64, s *[8]float64)
+
+// dotNT4x4f64 computes a 4×4 block against two pair-interleaved B blocks
+// (columns j..j+1 in bp0, j+2..j+3 in bp1): s[i*4+jj] = Σ_l ai[l]·b(jj)[l].
+// Each A element is broadcast once and feeds four columns, halving the
+// per-flop load traffic of dotNT4x2f64. Eight XMM accumulators + two B
+// registers + two broadcast temps fit the sixteen-register file (a blocking
+// the Go compiler cannot reach without spilling, hence assembly). k > 0.
+//
+//go:noescape
+func dotNT4x4f64(k int, a0, a1, a2, a3, bp0, bp1 []float64, s *[16]float64)
+
+// dotNT4x4f32 computes s[i*4+jj] = Σ_l ai[l]·b(jj)[l] for four A rows
+// against one quad-interleaved B block (bq[4l+jj] = b(jj)[l]). k > 0.
+//
+//go:noescape
+func dotNT4x4f32(k int, a0, a1, a2, a3, bq []float32, s *[16]float32)

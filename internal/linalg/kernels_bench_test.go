@@ -1,0 +1,65 @@
+package linalg
+
+import (
+	"fmt"
+	"testing"
+
+	"geompc/internal/prec"
+)
+
+// benchMatrix fills an n×k slice with a deterministic well-conditioned
+// pattern (no RNG dependency, so seed and optimized trees benchmark
+// identical data).
+func benchMatrix(rows, cols int) []float64 {
+	m := make([]float64, rows*cols)
+	for i := range m {
+		m[i] = 0.5 + float64((i*2654435761)%1024)/2048
+	}
+	return m
+}
+
+// BenchmarkGemmNT256 times the 256×256×256 NT GEMM per emulated precision —
+// the tile-kernel shape the Fig 5/6 Monte-Carlo accuracy studies spend
+// nearly all of their time in.
+func BenchmarkGemmNT256(b *testing.B) {
+	const n = 256
+	a := benchMatrix(n, n)
+	bb := benchMatrix(n, n)
+	c := benchMatrix(n, n)
+	for _, p := range []prec.Precision{prec.FP64, prec.FP32, prec.TF32, prec.BF16x32, prec.FP16x32, prec.FP16} {
+		b.Run(p.String(), func(b *testing.B) {
+			b.SetBytes(3 * n * n * 8)
+			for i := 0; i < b.N; i++ {
+				GemmNTPrec(p, n, n, n, -1, a, n, bb, n, 1, c, n)
+			}
+			b.ReportMetric(2*float64(n)*float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+		})
+	}
+}
+
+// BenchmarkSyrkTrsm256 times the 256-sized SYRK and TRSM tile kernels that
+// accompany every GEMM in the factorization.
+func BenchmarkSyrkTrsm256(b *testing.B) {
+	const n = 256
+	a := benchMatrix(n, n)
+	c := benchMatrix(n, n)
+	for _, p := range []prec.Precision{prec.FP64, prec.FP32} {
+		b.Run(fmt.Sprintf("syrk/%s", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SyrkLNPrec(p, n, n, -1, a, n, 1, c, n)
+			}
+		})
+	}
+	tri := benchMatrix(n, n)
+	for i := 0; i < n; i++ {
+		tri[i*n+i] += float64(n) // strongly diagonally dominant
+	}
+	for _, p := range []prec.Precision{prec.FP64, prec.FP32} {
+		b.Run(fmt.Sprintf("trsm/%s", p), func(b *testing.B) {
+			x := append([]float64(nil), c...)
+			for i := 0; i < b.N; i++ {
+				TrsmRLTPrec(p, n, n, tri, n, x, n)
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Opt-in shared worker pool for the row-parallel kernels.
+//
+// The NT GEMM family, SYRK and TRSM all write disjoint row panels of their
+// output: every output row depends only on its own accumulators, each of
+// which sums in the same l-order regardless of how rows are grouped into
+// panels. Any row partition therefore produces bit-identical float64 output
+// to the serial kernel — TestParallelBitExact asserts this against the
+// golden digests. Parallelism is off by default (Parallelism() == 1) so
+// library users and the deterministic simulation engine see serial kernels
+// unless they explicitly opt in.
+
+// panelRows is the row granularity handed to one worker at a time: a
+// multiple of the 4-row micro-kernel so only the final panel can leave
+// remainder rows, and large enough that the atomic claim is amortized over
+// ~panelRows·n·k flops.
+const panelRows = 32
+
+var (
+	parMu   sync.Mutex
+	parN    atomic.Int32 // observed lock-free on every kernel call
+	parPool *workerPool
+)
+
+func init() { parN.Store(1) }
+
+// SetParallelism sets the number of workers the dense kernels may use.
+// n <= 0 selects GOMAXPROCS. n == 1 (the default) disables the pool and
+// runs every kernel serially. The pool is shared by all kernels and is safe
+// to use while the runtime engine is executing task bodies concurrently.
+// Output bits are identical for every setting.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	parMu.Lock()
+	defer parMu.Unlock()
+	if n > 1 && (parPool == nil || parPool.n < n) {
+		parPool = newWorkerPool(n)
+	}
+	parN.Store(int32(n))
+}
+
+// Parallelism reports the current worker count (1 = serial).
+func Parallelism() int { return int(parN.Load()) }
+
+type workerPool struct {
+	n    int
+	work chan func()
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{n: n, work: make(chan func(), 4*n)}
+	for w := 1; w < n; w++ {
+		go func() {
+			for f := range p.work {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// forPanels runs body over [0,rows) split into panelRows-sized chunks,
+// claimed by workers via an atomic cursor. The caller always participates,
+// so progress never depends on pool workers being free; if the work channel
+// is full (other kernels saturating the pool) the caller simply runs the
+// panels itself. Small problems skip the pool entirely.
+func forPanels(rows int, body func(i0, i1 int)) {
+	n := int(parN.Load())
+	if n <= 1 || rows <= panelRows {
+		body(0, rows)
+		return
+	}
+	parMu.Lock()
+	p := parPool
+	parMu.Unlock()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	task := func() {
+		defer wg.Done()
+		for {
+			i1 := int(next.Add(panelRows))
+			i0 := i1 - panelRows
+			if i0 >= rows {
+				return
+			}
+			if i1 > rows {
+				i1 = rows
+			}
+			body(i0, i1)
+		}
+	}
+	helpers := (rows + panelRows - 1) / panelRows
+	if helpers > n {
+		helpers = n
+	}
+	for w := 1; w < helpers; w++ {
+		wg.Add(1)
+		select {
+		case p.work <- task:
+		default:
+			wg.Done()
+			w = helpers // pool saturated; caller drains the rest
+		}
+	}
+	wg.Add(1)
+	task()
+	wg.Wait()
+}

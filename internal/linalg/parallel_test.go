@@ -1,0 +1,55 @@
+package linalg
+
+import (
+	"testing"
+
+	"geompc/internal/prec"
+)
+
+// TestParallelBitExact reruns every golden digest with the worker pool
+// enabled: the parallel kernels must reproduce the serial (and seed) output
+// bit-for-bit, because row panels are independent and each accumulator sums
+// in the same order regardless of the partition.
+func TestParallelBitExact(t *testing.T) {
+	for _, workers := range []int{2, 3, 7} {
+		SetParallelism(workers)
+		for p, want := range gemmGoldenWant {
+			if got := gemmGolden(p); got != want {
+				t.Errorf("workers=%d: GemmNT %s digest = %#x, want %#x", workers, p, got, want)
+			}
+		}
+		for p, want := range syrkGoldenWant {
+			if got := syrkGolden(p); got != want {
+				t.Errorf("workers=%d: SyrkLN %s digest = %#x, want %#x", workers, p, got, want)
+			}
+		}
+		for p, want := range trsmGoldenWant {
+			if got := trsmGolden(p); got != want {
+				t.Errorf("workers=%d: TrsmRLT %s digest = %#x, want %#x", workers, p, got, want)
+			}
+		}
+	}
+	SetParallelism(1)
+	if Parallelism() != 1 {
+		t.Fatal("SetParallelism(1) did not restore serial mode")
+	}
+
+	// Matrices taller than one panel so the pool genuinely splits rows.
+	SetParallelism(4)
+	defer SetParallelism(1)
+	rng := splitmix64(0xbeef)
+	m, n, k := 3*panelRows+5, 33, 29
+	a := goldenMatrix(&rng, m, k)
+	b := goldenMatrix(&rng, n, k)
+	cSerial := goldenMatrix(&rng, m, n)
+	cPar := append([]float64(nil), cSerial...)
+	for _, p := range []prec.Precision{prec.FP64, prec.FP32, prec.TF32, prec.BF16x32, prec.FP16x32, prec.FP16} {
+		SetParallelism(1)
+		GemmNTPrec(p, m, n, k, -1, a, k, b, k, 1, cSerial, n)
+		SetParallelism(4)
+		GemmNTPrec(p, m, n, k, -1, a, k, b, k, 1, cPar, n)
+		if got, want := fnv1a64(cPar), fnv1a64(cSerial); got != want {
+			t.Errorf("GemmNT %s tall-matrix parallel digest %#x != serial %#x", p, got, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"math/bits"
 	"sync"
 
 	"geompc/internal/fp16"
@@ -8,14 +9,24 @@ import (
 
 // Scratch pools avoid per-kernel allocation churn: the mixed-precision
 // emulations pack their operands into typed staging buffers on every call,
-// which would otherwise dominate GC time for small tiles.
+// which would otherwise dominate GC time for small tiles. Buffers grow to
+// the next power of two so a sequence of slightly-different tile shapes
+// (remainder tiles, mixed m/n/k) settles on one capacity instead of
+// reallocating at each new size.
+
+func scratchCap(n int) int {
+	if n <= 4096 {
+		return 4096
+	}
+	return 1 << bits.Len(uint(n-1))
+}
 
 var f32Pool = sync.Pool{New: func() any { s := make([]float32, 0, 4096); return &s }}
 
 func f32Scratch(n int) []float32 {
 	p := f32Pool.Get().(*[]float32)
 	if cap(*p) < n {
-		*p = make([]float32, n)
+		*p = make([]float32, n, scratchCap(n))
 	}
 	return (*p)[:n]
 }
@@ -30,7 +41,7 @@ var halfPool = sync.Pool{New: func() any { s := make([]fp16.Half, 0, 4096); retu
 func halfScratch(n int) []fp16.Half {
 	p := halfPool.Get().(*[]fp16.Half)
 	if cap(*p) < n {
-		*p = make([]fp16.Half, n)
+		*p = make([]fp16.Half, n, scratchCap(n))
 	}
 	return (*p)[:n]
 }
@@ -45,7 +56,7 @@ var f64Pool = sync.Pool{New: func() any { s := make([]float64, 0, 4096); return 
 func f64Scratch(n int) []float64 {
 	p := f64Pool.Get().(*[]float64)
 	if cap(*p) < n {
-		*p = make([]float64, n)
+		*p = make([]float64, n, scratchCap(n))
 	}
 	return (*p)[:n]
 }

@@ -7,12 +7,45 @@ import "geompc/internal/prec"
 // referenced) and B is m×n (stride ldb). This is the BLAS dtrsm with side
 // Right, uplo Lower, transA Trans, diag NonUnit, alpha 1 — the tile update
 // A[m][k] = A[m][k]·A[k][k]^{-T} of Algorithm 1.
+// Rows of B are solved independently, so the kernel blocks four rows over
+// the shared triangular operand (each row's recurrence runs in the same
+// order as the scalar loop: bit-identical) and parallelizes over row panels
+// when SetParallelism is raised.
 func TrsmRLT(m, n int, a []float64, lda int, b []float64, ldb int) {
-	for i := 0; i < m; i++ {
-		bi := b[i*ldb : i*ldb+n]
+	forPanels(m, func(i0, i1 int) {
+		trsmRLT64Panel(i0, i1, n, a, lda, b, ldb)
+	})
+}
+
+func trsmRLT64Panel(i0, i1, n int, a []float64, lda int, b []float64, ldb int) {
+	i := i0
+	for ; i+4 <= i1; i += 4 {
+		b0 := b[(i+0)*ldb:][:n]
+		b1 := b[(i+1)*ldb:][:n]
+		b2 := b[(i+2)*ldb:][:n]
+		b3 := b[(i+3)*ldb:][:n]
+		for j := 0; j < n; j++ {
+			aj := a[j*lda:][:j]
+			s0, s1, s2, s3 := b0[j], b1[j], b2[j], b3[j]
+			for l := range aj {
+				alv := aj[l]
+				s0 -= b0[l] * alv
+				s1 -= b1[l] * alv
+				s2 -= b2[l] * alv
+				s3 -= b3[l] * alv
+			}
+			d := a[j*lda+j]
+			b0[j] = s0 / d
+			b1[j] = s1 / d
+			b2[j] = s2 / d
+			b3[j] = s3 / d
+		}
+	}
+	for ; i < i1; i++ {
+		bi := b[i*ldb:][:n]
 		for j := 0; j < n; j++ {
 			s := bi[j]
-			aj := a[j*lda : j*lda+j]
+			aj := a[j*lda:][:j]
 			for l := range aj {
 				s -= bi[l] * aj[l]
 			}
@@ -26,28 +59,61 @@ func TrsmRLT(m, n int, a []float64, lda int, b []float64, ldb int) {
 // FP32, because the considered GPUs only provide half-precision GEMM.
 func TrsmRLT32(m, n int, a []float64, lda int, b []float64, ldb int) {
 	af := f32Scratch(n * n)
-	defer putF32(af)
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			af[i*n+j] = float32(a[i*lda+j])
 		}
 	}
-	bf := f32Scratch(n)
-	defer putF32(bf)
+	// The whole of B is packed once (the seed packed one row at a time,
+	// re-reading the float64 row per output row); rows then solve
+	// independently with 4-row blocking over the shared triangle.
+	bf := f32Scratch(m * n)
+	pack32(bf, b, m, n, ldb)
+	forPanels(m, func(i0, i1 int) {
+		trsmRLT32Panel(i0, i1, n, af, bf)
+	})
 	for i := 0; i < m; i++ {
-		bi := b[i*ldb : i*ldb+n]
-		for j, v := range bi {
-			bf[j] = float32(v)
-		}
-		for j := 0; j < n; j++ {
-			s := bf[j]
-			for l := 0; l < j; l++ {
-				s -= bf[l] * af[j*n+l]
-			}
-			bf[j] = s / af[j*n+j]
-		}
-		for j, v := range bf[:n] {
+		bi := b[i*ldb:][:n]
+		for j, v := range bf[i*n:][:n] {
 			bi[j] = float64(v)
+		}
+	}
+	putF32(af)
+	putF32(bf)
+}
+
+func trsmRLT32Panel(i0, i1, n int, af, bf []float32) {
+	i := i0
+	for ; i+4 <= i1; i += 4 {
+		b0 := bf[(i+0)*n:][:n]
+		b1 := bf[(i+1)*n:][:n]
+		b2 := bf[(i+2)*n:][:n]
+		b3 := bf[(i+3)*n:][:n]
+		for j := 0; j < n; j++ {
+			aj := af[j*n:][:j]
+			s0, s1, s2, s3 := b0[j], b1[j], b2[j], b3[j]
+			for l := range aj {
+				alv := aj[l]
+				s0 -= b0[l] * alv
+				s1 -= b1[l] * alv
+				s2 -= b2[l] * alv
+				s3 -= b3[l] * alv
+			}
+			d := af[j*n+j]
+			b0[j] = s0 / d
+			b1[j] = s1 / d
+			b2[j] = s2 / d
+			b3[j] = s3 / d
+		}
+	}
+	for ; i < i1; i++ {
+		bi := bf[i*n:][:n]
+		for j := 0; j < n; j++ {
+			s := bi[j]
+			for l := 0; l < j; l++ {
+				s -= bi[l] * af[j*n+l]
+			}
+			bi[j] = s / af[j*n+j]
 		}
 	}
 }
@@ -72,7 +138,7 @@ func TrsmRLTPrec(p prec.Precision, m, n int, a []float64, lda int, b []float64, 
 func TrsvLNN(n int, a []float64, lda int, b []float64) {
 	for i := 0; i < n; i++ {
 		s := b[i]
-		ai := a[i*lda : i*lda+i]
+		ai := a[i*lda:][:i]
 		for l := range ai {
 			s -= ai[l] * b[l]
 		}

@@ -36,11 +36,18 @@ func (e *Engine) violate(format string, args ...any) {
 // staged its tiles (the moment of maximal pressure).
 func (e *Engine) auditResidency(d *device, taskID int) {
 	var sum int64
-	unpinned := 0
-	for _, entry := range d.resident {
+	unpinned, n := 0, 0
+	// The LRU list must contain exactly the index's entries, each reachable
+	// by lookup under its own id.
+	for entry := d.lruHead; entry != nil; entry = entry.next {
+		n++
 		sum += entry.bytes
 		if entry.pins == 0 {
 			unpinned++
+		}
+		if d.entry(entry.data) != entry {
+			e.violate("dev%d after task %d: LRU list entry %d not in resident index", d.id, taskID, entry.data)
+			break
 		}
 	}
 	if sum != d.used {
@@ -50,17 +57,8 @@ func (e *Engine) auditResidency(d *device, taskID int) {
 		e.violate("dev%d after task %d: resident %d B exceeds memory %d B with %d evictable tile(s)",
 			d.id, taskID, d.used, d.spec.MemBytes, unpinned)
 	}
-	// The LRU list must contain exactly the map's entries.
-	n := 0
-	for entry := d.lruHead; entry != nil; entry = entry.next {
-		n++
-		if d.resident[entry.data] != entry {
-			e.violate("dev%d after task %d: LRU list entry %d not in resident map", d.id, taskID, entry.data)
-			break
-		}
-	}
-	if n != len(d.resident) {
-		e.violate("dev%d after task %d: LRU list has %d entries, map has %d", d.id, taskID, n, len(d.resident))
+	if n != d.nResident {
+		e.violate("dev%d after task %d: LRU list has %d entries, index has %d", d.id, taskID, n, d.nResident)
 	}
 }
 
@@ -68,7 +66,7 @@ func (e *Engine) auditResidency(d *device, taskID int) {
 // conservation. Called after finalizeStats.
 func (e *Engine) auditFinal() {
 	for _, d := range e.devices {
-		for _, entry := range d.resident {
+		for entry := d.lruHead; entry != nil; entry = entry.next {
 			if entry.pins != 0 {
 				e.violate("dev%d at completion: tile %d still holds %d pin(s)", d.id, entry.data, entry.pins)
 			}

@@ -1,7 +1,6 @@
 package runtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	gort "runtime"
@@ -35,15 +34,23 @@ type Engine struct {
 	devices      []*device
 	nicFree      []float64
 	nicIntervals [][]Interval // per rank, Trace only
+	// Host-availability index: when the graph implements DataBounder the
+	// dense per-(rank,data) table is used (one flat slice, -1 = absent);
+	// otherwise the map fallback. The dense form removes a map lookup per
+	// staged input — the hottest read on the phantom scale path.
 	hostAvail    map[hostKey]float64
-	pending      []int32
-	events       eventHeap
-	seq          int64
-	now          float64
-	succBuf      []int
-	inflight     int
-	done         int
-	dirtyDevs    []int
+	hostDense    []float64
+	hostDenseBuf []float64 // retained across runs to avoid regrowth
+	hostBound    int
+	pending   []int32
+	events    []event
+	specFree  []*TaskSpec
+	seq       int64
+	now       float64
+	succBuf   []int
+	inflight  int
+	done      int
+	dirtyDevs []int
 
 	workers *workerPool
 
@@ -78,6 +85,27 @@ type hostKey struct {
 	data DataID
 }
 
+// hostAbsent marks a (rank, data) slot of the dense host index with no host
+// copy; availability times are always ≥ 0.
+const hostAbsent = -1.0
+
+func (e *Engine) setHostAvail(rank int, d DataID, at float64) {
+	if e.hostDense != nil {
+		e.hostDense[rank*e.hostBound+int(d)] = at
+		return
+	}
+	e.hostAvail[hostKey{rank, d}] = at
+}
+
+func (e *Engine) lookupHostAvail(rank int, d DataID) (float64, bool) {
+	if e.hostDense != nil {
+		v := e.hostDense[rank*e.hostBound+int(d)]
+		return v, v != hostAbsent
+	}
+	v, ok := e.hostAvail[hostKey{rank, d}]
+	return v, ok
+}
+
 // Stats aggregates a run.
 type Stats struct {
 	// Makespan is the virtual time from start to the last task completion.
@@ -107,46 +135,119 @@ type Stats struct {
 	Devices []DeviceStats
 }
 
-// event is a completion notice in virtual time.
+// event is a committed task's completion notice in virtual time. The heap
+// is hand-rolled (pushEvent/popEvent) rather than container/heap: events are
+// plain values on one slice, so pushing never boxes through an interface —
+// the seed allocated one escape per event push and one per flight record.
 type event struct {
-	at   float64
-	seq  int64
-	task *flight
+	at     float64
+	seq    int64
+	spec   *TaskSpec
+	result chan struct{} // non-nil when a numeric body runs; closed at finish
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (e *Engine) pushEvent(ev event) {
+	h := append(e.events, ev)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !eventBefore(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.events = h
+}
+
+func (e *Engine) popEvent() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && eventBefore(&h[l], &h[m]) {
+			m = l
+		}
+		if r < n && eventBefore(&h[r], &h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e.events = h
+	return top
+}
 
 // taskHeap orders ready tasks by descending priority, then ascending id —
 // a total order, which keeps the simulation deterministic.
 type taskHeap []*TaskSpec
 
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority > h[j].Priority
+func taskBefore(a, b *TaskSpec) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
 	}
-	return h[i].ID < h[j].ID
+	return a.ID < b.ID
 }
-func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*TaskSpec)) }
-func (h *taskHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
 
-// flight is a committed task awaiting its completion event.
-type flight struct {
-	spec   *TaskSpec
-	end    float64
-	result chan struct{} // closed when the numeric body finishes
+func (h taskHeap) Len() int { return len(h) }
+
+func (h *taskHeap) push(t *TaskSpec) {
+	s := append(*h, t)
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !taskBefore(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *taskHeap) pop() *TaskSpec {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && taskBefore(s[l], s[m]) {
+			m = l
+		}
+		if r < n && taskBefore(s[r], s[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
+}
+
+// DataBounder is an optional Graph capability: a graph whose DataIDs all lie
+// in [0, DataIDBound()) lets the engine replace the host-availability map
+// with a dense per-rank table.
+type DataBounder interface {
+	DataIDBound() int64
 }
 
 // New prepares an engine for one run of g on plat.
@@ -167,17 +268,40 @@ func (e *Engine) Run() (Stats, error) {
 		e.Trace = true // the energy-conservation check needs the intervals
 	}
 	n := e.g.NumTasks()
+	e.hostAvail, e.hostDense, e.hostBound = nil, nil, 0
+	if b, ok := e.g.(DataBounder); ok {
+		// Cap the dense tables' footprint; graphs with huge sparse id
+		// spaces fall back to the maps.
+		if bound := b.DataIDBound(); bound >= 0 &&
+			bound*int64(e.plat.Ranks) <= 1<<28 && bound*int64(e.plat.NumDevices()) <= 1<<28 {
+			e.hostBound = int(bound)
+			need := e.hostBound * e.plat.Ranks
+			if cap(e.hostDenseBuf) < need {
+				e.hostDenseBuf = make([]float64, need)
+			}
+			e.hostDense = e.hostDenseBuf[:need]
+			for i := range e.hostDense {
+				e.hostDense[i] = hostAbsent
+			}
+		}
+	}
+	if e.hostDense == nil {
+		e.hostAvail = make(map[hostKey]float64)
+	}
 	e.devices = make([]*device, e.plat.NumDevices())
 	for i := range e.devices {
-		e.devices[i] = newDevice(i, e.plat.RankOfDevice(i), e.plat.Node.GPU, e.Trace)
+		e.devices[i] = newDevice(i, e.plat.RankOfDevice(i), e.plat.Node.GPU, e.Trace, e.hostBound)
 	}
 	e.nicFree = make([]float64, e.plat.Ranks)
 	e.nicIntervals = nil
 	if e.Trace {
 		e.nicIntervals = make([][]Interval, e.plat.Ranks)
 	}
-	e.hostAvail = make(map[hostKey]float64)
-	e.pending = make([]int32, n)
+	if cap(e.pending) >= n {
+		e.pending = e.pending[:n]
+	} else {
+		e.pending = make([]int32, n)
+	}
 	e.events = e.events[:0]
 	e.now, e.seq, e.inflight, e.done = 0, 0, 0, 0
 	e.stats = Stats{}
@@ -188,11 +312,17 @@ func (e *Engine) Run() (Stats, error) {
 	e.metrics.Reset()
 	e.hTaskSec = e.metrics.Histogram("engine/task_seconds", obs.ExpBuckets(1e-6, 4, 16))
 	e.hH2DBytes = e.metrics.Histogram("engine/h2d_bytes", obs.ExpBuckets(4096, 4, 16))
-	e.workers = newWorkerPool(gort.GOMAXPROCS(0))
-	defer e.workers.close()
+	// The worker pool spins up lazily, on the first task that carries a
+	// numeric body — phantom runs never pay for goroutine creation.
+	defer func() {
+		if e.workers != nil {
+			e.workers.close()
+			e.workers = nil
+		}
+	}()
 
 	e.g.InitialData(func(d DataID, rank int) {
-		e.hostAvail[hostKey{rank, d}] = 0
+		e.setHostAvail(rank, d, 0)
 	})
 
 	for id := 0; id < n; id++ {
@@ -206,9 +336,9 @@ func (e *Engine) Run() (Stats, error) {
 	}
 
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.popEvent()
 		e.now = ev.at
-		e.complete(ev.task)
+		e.complete(&ev)
 	}
 
 	if e.done != n {
@@ -229,14 +359,22 @@ func (e *Engine) Run() (Stats, error) {
 func (e *Engine) AuditViolations() []string { return e.auditViol }
 
 func (e *Engine) enqueueReady(id int) int {
-	spec := &TaskSpec{}
+	var spec *TaskSpec
+	if n := len(e.specFree); n > 0 {
+		// Recycled spec: completed tasks return their TaskSpec (and the
+		// allocations reachable from it) for the graph to refill.
+		spec = e.specFree[n-1]
+		e.specFree = e.specFree[:n-1]
+	} else {
+		spec = &TaskSpec{}
+	}
 	e.g.Spec(id, spec)
 	spec.ID = id
 	if spec.Device < 0 || spec.Device >= len(e.devices) {
 		panic(fmt.Sprintf("runtime: task %d assigned to invalid device %d", id, spec.Device))
 	}
 	d := e.devices[spec.Device]
-	heap.Push(d.ready, spec)
+	d.ready.push(spec)
 	if d.ready.Len() > d.maxReady {
 		d.maxReady = d.ready.Len()
 	}
@@ -246,8 +384,7 @@ func (e *Engine) enqueueReady(id int) int {
 // tryCommit feeds the device's stream pipeline up to the lookahead depth.
 func (e *Engine) tryCommit(d *device) {
 	for d.committed < e.Lookahead && d.ready.Len() > 0 {
-		spec := heap.Pop(d.ready).(*TaskSpec)
-		e.commit(d, spec)
+		e.commit(d, d.ready.pop())
 	}
 }
 
@@ -268,7 +405,7 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 			return
 		}
 		d.stats.LRUMisses++
-		avail, ok := e.hostAvail[hostKey{d.rank, data}]
+		avail, ok := e.lookupHostAvail(d.rank, data)
 		if !ok {
 			if isOutput {
 				// Fresh output with no prior contents: allocate only.
@@ -353,16 +490,20 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 	e.digest.WriteFloat64(end)
 	e.digest.WriteInt64(stagedBytes)
 
-	f := &flight{spec: spec, end: end}
-	if spec.Body != nil {
-		f.result = make(chan struct{})
+	var result chan struct{}
+	if body := spec.Body; body != nil {
+		if e.workers == nil {
+			e.workers = newWorkerPool(gort.GOMAXPROCS(0))
+		}
+		result = make(chan struct{})
+		done := result
 		e.workers.submit(func() {
-			spec.Body()
-			close(f.result)
+			body()
+			close(done)
 		})
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: end, seq: e.seq, task: f})
+	e.pushEvent(event{at: end, seq: e.seq, spec: spec, result: result})
 	e.inflight++
 }
 
@@ -385,7 +526,7 @@ func (e *Engine) drainWritebacks(d *device, sink *evictSink) {
 		if d.trace {
 			d.d2hIntervals = append(d.d2hIntervals, Interval{Start: start, End: start + dur, Power: d.spec.TransferW, Bytes: wb.bytes})
 		}
-		e.hostAvail[hostKey{d.rank, wb.data}] = start + dur
+		e.setHostAvail(d.rank, wb.data, start+dur)
 	}
 	sink.writebacks = sink.writebacks[:0]
 }
@@ -400,11 +541,11 @@ func (e *Engine) drainWritebacks(d *device, sink *evictSink) {
 // body's goroutine closes the channel. Virtual completion order therefore
 // bounds real dataflow order — successors never read a tile whose producer
 // body is still running, regardless of GOMAXPROCS.
-func (e *Engine) complete(f *flight) {
-	spec := f.spec
+func (e *Engine) complete(ev *event) {
+	spec := ev.spec
 	d := e.devices[spec.Device]
-	if f.result != nil {
-		<-f.result
+	if ev.result != nil {
+		<-ev.result
 	}
 
 	for i := range spec.Inputs {
@@ -427,20 +568,29 @@ func (e *Engine) complete(f *flight) {
 	e.succBuf = e.g.Successors(spec.ID, e.succBuf[:0])
 	e.dirtyDevs = e.dirtyDevs[:0]
 	e.dirtyDevs = append(e.dirtyDevs, d.id)
+	d.dirty = true
 	for _, s := range e.succBuf {
 		e.pending[s]--
 		switch {
 		case e.pending[s] == 0:
 			dev := e.enqueueReady(s)
-			e.dirtyDevs = append(e.dirtyDevs, dev)
+			if dd := e.devices[dev]; !dd.dirty {
+				dd.dirty = true
+				e.dirtyDevs = append(e.dirtyDevs, dev)
+			}
 		case e.pending[s] < 0:
 			panic(fmt.Sprintf("runtime: task %d released more than its in-degree", s))
 		}
 	}
+	// The task is fully retired; its spec (and the slices hanging off it)
+	// goes back to the freelist for the next enqueueReady to refill.
+	e.specFree = append(e.specFree, spec)
 	// Feed the pipelines of every device that finished a task or gained a
 	// ready one.
 	for _, di := range e.dirtyDevs {
-		e.tryCommit(e.devices[di])
+		dd := e.devices[di]
+		dd.dirty = false
+		e.tryCommit(dd)
 	}
 }
 
@@ -475,8 +625,8 @@ func (e *Engine) publish(d *device, spec *TaskSpec, p *PublishSpec) {
 	if d.trace {
 		d.d2hIntervals = append(d.d2hIntervals, Interval{Start: start, End: hostAt, Power: d.spec.TransferW, Bytes: p.WireBytes})
 	}
-	e.hostAvail[hostKey{d.rank, spec.Output.Data}] = hostAt
-	if entry := d.resident[spec.Output.Data]; entry != nil {
+	e.setHostAvail(d.rank, spec.Output.Data, hostAt)
+	if entry := d.entry(spec.Output.Data); entry != nil {
 		entry.hostCopy = true
 	}
 
@@ -493,7 +643,7 @@ func (e *Engine) publish(d *device, spec *TaskSpec, p *PublishSpec) {
 				Interval{Start: nstart, End: nstart + hop, Bytes: p.WireBytes})
 		}
 		for _, rr := range p.RemoteRanks {
-			e.hostAvail[hostKey{rr, spec.Output.Data}] = arrival
+			e.setHostAvail(rr, spec.Output.Data, arrival)
 			e.stats.BytesNet += p.WireBytes
 			e.bytesNet[p.WirePrec] += p.WireBytes
 		}

@@ -90,8 +90,12 @@ type TaskSpec struct {
 type Graph interface {
 	// NumTasks is the total number of tasks.
 	NumTasks() int
-	// Spec fills s with the description of task id. Slices in s may be
-	// reused by the engine between calls.
+	// Spec fills s with the description of task id. The engine recycles
+	// TaskSpec records: s may arrive still holding the fields of a
+	// previously completed task, so implementations must set every field
+	// they care about — and may reuse the allocations already reachable
+	// from s (e.g. refill s.Inputs[:0] or an existing s.Publish) to keep
+	// the hot path allocation-free.
 	Spec(id int, s *TaskSpec)
 	// NumPredecessors returns the in-degree of task id.
 	NumPredecessors(id int) int

@@ -53,16 +53,26 @@ type device struct {
 	h2dFree     float64
 	d2hFree     float64
 
-	committed int // tasks accepted into the stream pipeline, not yet done
-	maxReady  int // deepest the ready queue ever got (queue-depth metric)
+	committed int  // tasks accepted into the stream pipeline, not yet done
+	maxReady  int  // deepest the ready queue ever got (queue-depth metric)
+	dirty     bool // queued for a pipeline refill in the current completion
 
-	resident map[DataID]*residentEntry
+	// Residency index: residentArr (dense, bound from DataBounder) or
+	// resident (map fallback). The dense form turns every touch/pin/unpin
+	// into an array index — the phantom scale path does several per task.
+	resident    map[DataID]*residentEntry
+	residentArr []*residentEntry
+	nResident   int
 	// lruHead/lruTail form an intrusive recency list: head = most recently
 	// used, tail = eviction candidate. All operations are O(1).
 	lruHead, lruTail *residentEntry
 	used             int64
 
 	ready *taskHeap
+
+	// entryFree recycles residentEntry records across evict/insert cycles;
+	// LRU churn on the scale path otherwise allocates one entry per miss.
+	entryFree []*residentEntry
 
 	stats DeviceStats
 
@@ -112,13 +122,43 @@ type Interval struct {
 	Bytes      int64   // bytes moved, for transfer streams (0 for compute)
 }
 
-func newDevice(id, rank int, spec *hw.GPUSpec, trace bool) *device {
-	return &device{
+func newDevice(id, rank int, spec *hw.GPUSpec, trace bool, dataBound int) *device {
+	d := &device{
 		id: id, rank: rank, spec: spec,
-		resident: make(map[DataID]*residentEntry),
-		ready:    &taskHeap{},
-		trace:    trace,
+		ready: &taskHeap{},
+		trace: trace,
 	}
+	if dataBound > 0 {
+		d.residentArr = make([]*residentEntry, dataBound)
+	} else {
+		d.resident = make(map[DataID]*residentEntry)
+	}
+	return d
+}
+
+func (d *device) entry(id DataID) *residentEntry {
+	if d.residentArr != nil {
+		return d.residentArr[id]
+	}
+	return d.resident[id]
+}
+
+func (d *device) setEntry(id DataID, e *residentEntry) {
+	if d.residentArr != nil {
+		d.residentArr[id] = e
+	} else {
+		d.resident[id] = e
+	}
+	d.nResident++
+}
+
+func (d *device) delEntry(id DataID) {
+	if d.residentArr != nil {
+		d.residentArr[id] = nil
+	} else {
+		delete(d.resident, id)
+	}
+	d.nResident--
 }
 
 // lruUnlink removes e from the recency list.
@@ -149,7 +189,7 @@ func (d *device) lruFront(e *residentEntry) {
 }
 
 func (d *device) touch(id DataID) *residentEntry {
-	e := d.resident[id]
+	e := d.entry(id)
 	if e != nil {
 		d.lruUnlink(e)
 		d.lruFront(e)
@@ -161,7 +201,7 @@ func (d *device) touch(id DataID) *residentEntry {
 // the time at which required writebacks complete (0 when none), so callers
 // can order dependent transfers, and records eviction statistics.
 func (d *device) insert(id DataID, bytes int64, p prec.Precision, hostCopy bool, now float64, ev *evictSink) {
-	if e := d.resident[id]; e != nil {
+	if e := d.entry(id); e != nil {
 		d.lruUnlink(e)
 		d.lruFront(e)
 		if bytes > e.bytes {
@@ -175,8 +215,15 @@ func (d *device) insert(id DataID, bytes int64, p prec.Precision, hostCopy bool,
 	// Make room first so the new entry can never evict itself; if every
 	// resident tile is pinned the device over-commits instead.
 	d.evictTo(d.spec.MemBytes-bytes, now, ev)
-	e := &residentEntry{data: id, bytes: bytes, prec: p, hostCopy: hostCopy}
-	d.resident[id] = e
+	var e *residentEntry
+	if n := len(d.entryFree); n > 0 {
+		e = d.entryFree[n-1]
+		d.entryFree = d.entryFree[:n-1]
+		*e = residentEntry{data: id, bytes: bytes, prec: p, hostCopy: hostCopy}
+	} else {
+		e = &residentEntry{data: id, bytes: bytes, prec: p, hostCopy: hostCopy}
+	}
+	d.setEntry(id, e)
 	d.lruFront(e)
 	d.used += bytes
 	if d.used > d.stats.PeakResident {
@@ -214,20 +261,21 @@ func (d *device) evictTo(capacity int64, now float64, ev *evictSink) {
 		}
 		d.used -= e.bytes
 		d.lruUnlink(e)
-		delete(d.resident, e.data)
+		d.delEntry(e.data)
+		d.entryFree = append(d.entryFree, e)
 		d.stats.Evictions++
 		e = prev
 	}
 }
 
 func (d *device) pin(id DataID) {
-	if e := d.resident[id]; e != nil {
+	if e := d.entry(id); e != nil {
 		e.pins++
 	}
 }
 
 func (d *device) unpin(id DataID) {
-	if e := d.resident[id]; e != nil && e.pins > 0 {
+	if e := d.entry(id); e != nil && e.pins > 0 {
 		e.pins--
 	}
 }
