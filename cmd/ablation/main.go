@@ -12,11 +12,13 @@
 //	ablation -banded
 //	ablation -lookahead
 //	ablation -probe [-probe-n 400]
+//	ablation -chaos [-chaos-gpus 3]     # MP vs FP64 resilience overhead
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"geompc/internal/bench"
@@ -26,25 +28,37 @@ import (
 )
 
 func main() {
-	banded := flag.Bool("banded", false, "adaptive vs banded precision maps")
-	lookahead := flag.Bool("lookahead", false, "stream pipeline depth sweep")
-	probe := flag.Bool("probe", false, "Monte-Carlo arithmetic u_req probe")
-	tlrFlag := flag.Bool("tlr", false, "tile low-rank + mixed precision storage study (§VIII future work)")
-	n := flag.Int("n", 65536, "matrix size for -banded/-lookahead")
-	probeN := flag.Int("probe-n", 400, "locations for -probe")
-	ts := flag.Int("ts", 2048, "tile size")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ablation:", err)
+		os.Exit(1)
+	}
+}
 
-	if !*banded && !*lookahead && !*probe && !*tlrFlag {
-		*banded, *lookahead, *probe, *tlrFlag = true, true, true, true
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ablation", flag.ContinueOnError)
+	banded := fs.Bool("banded", false, "adaptive vs banded precision maps")
+	lookahead := fs.Bool("lookahead", false, "stream pipeline depth sweep")
+	probe := fs.Bool("probe", false, "Monte-Carlo arithmetic u_req probe")
+	tlrFlag := fs.Bool("tlr", false, "tile low-rank + mixed precision storage study (§VIII future work)")
+	chaos := fs.Bool("chaos", false, "resilience overhead of each precision configuration under an identical fault plan")
+	n := fs.Int("n", 65536, "matrix size for -banded/-lookahead/-chaos")
+	probeN := fs.Int("probe-n", 400, "locations for -probe")
+	ts := fs.Int("ts", 2048, "tile size")
+	chaosGPUs := fs.Int("chaos-gpus", 3, "GPUs for -chaos (>=2: the plan kills one)")
+	chaosFaults := fs.String("chaos-faults", "", "fault plan for -chaos (default: derived kill+flaky+slow, scaled per config)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if !*banded && !*lookahead && !*probe && !*tlrFlag && !*chaos {
+		*banded, *lookahead, *probe, *tlrFlag, *chaos = true, true, true, true, true
 	}
 
 	if *banded {
 		for _, app := range bench.Apps() {
 			rows, err := bench.AdaptiveVsBanded(app, *n, *ts, hw.SummitNode, 9)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "ablation:", err)
-				os.Exit(1)
+				return err
 			}
 			t := bench.NewTable(
 				fmt.Sprintf("adaptive vs banded precision: %s @ u_req=%.0e, N=%d, V100", app.Name, app.UReq, *n),
@@ -52,15 +66,14 @@ func main() {
 			for _, r := range rows {
 				t.Add(r.Variant, r.Tflops, r.Time, 100*r.FP64Share)
 			}
-			t.Write(os.Stdout)
+			t.Write(out)
 		}
 	}
 
 	if *lookahead {
 		rows, err := bench.LookaheadAblation(*n, *ts, hw.SummitNode, []int{1, 2, 4, 8})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ablation:", err)
-			os.Exit(1)
+			return err
 		}
 		t := bench.NewTable(
 			fmt.Sprintf("stream pipeline depth (FP64/FP16, N=%d, V100)", *n),
@@ -68,7 +81,7 @@ func main() {
 		for _, r := range rows {
 			t.Add(r.Variant, r.Tflops, r.Time)
 		}
-		t.Write(os.Stdout)
+		t.Write(out)
 	}
 
 	if *tlrFlag {
@@ -77,14 +90,29 @@ func main() {
 		for _, app := range bench.Apps() {
 			rep, err := bench.TLRAnalysis(app, 8192, 512, app.UReq, 7)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "ablation:", err)
-				os.Exit(1)
+				return err
 			}
 			t.Add(app.Name, rep.MeanRank, rep.MaxRank,
 				bench.HumanBytes(rep.DenseFP64), bench.HumanBytes(rep.MPDense), bench.HumanBytes(rep.MPTLR),
 				fmt.Sprintf("%.1fx", float64(rep.DenseFP64)/float64(rep.MPTLR)))
 		}
-		t.Write(os.Stdout)
+		t.Write(out)
+	}
+
+	if *chaos {
+		rows, err := bench.ChaosAblation(hw.SummitNode, *chaosGPUs, *n, *ts, *chaosFaults)
+		if err != nil {
+			return err
+		}
+		t := bench.NewTable(
+			fmt.Sprintf("resilience: fault plan vs precision configuration (N=%d, %d V100s, 1 kill + 1 flaky + 1 slow window)", *n, *chaosGPUs),
+			"config", "scenario", "time(s)", "energy(J)", "time +%", "energy +%", "kills", "replays", "retries")
+		for _, r := range rows {
+			t.Add(r.Config, r.Scenario, r.Time, r.Energy,
+				fmt.Sprintf("%.1f", r.TimeOverheadPct), fmt.Sprintf("%.1f", r.EnergyOverheadPct),
+				r.DeviceFailures, r.ReplayedTasks, r.RetriedTasks)
+		}
+		t.Write(out)
 	}
 
 	if *probe {
@@ -92,14 +120,12 @@ func main() {
 			app, _ := bench.AppByName(appName)
 			ds, err := core.GenerateDataset(*probeN, app.Kernel.Dim(), app.Kernel, app.Theta, 5)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "ablation:", err)
-				os.Exit(1)
+				return err
 			}
 			p := &mle.Problem{Locs: ds.Locs, Z: ds.Z, Kernel: ds.Kernel, Nugget: 1e-7, TileSize: 64}
 			rows, err := mle.PrecisionImpact(p, app.Theta, []float64{0, 1e-9, 1e-6, 1e-4, 1e-2}, 8, 3)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "ablation:", err)
-				os.Exit(1)
+				return err
 			}
 			t := bench.NewTable(
 				fmt.Sprintf("Monte-Carlo arithmetic probe: %s, n=%d (−ℓ reference %.4f)",
@@ -113,7 +139,8 @@ func main() {
 				t.Add(u, fmt.Sprintf("%.3g", r.MeanAbsDev), fmt.Sprintf("%.3g", r.MaxAbsDev),
 					fmt.Sprintf("%d/%d", r.Broken, r.Replicas))
 			}
-			t.Write(os.Stdout)
+			t.Write(out)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunChaosSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-chaos", "-n", "16384", "-chaos-gpus", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"resilience: fault plan vs precision configuration", "fault-free", "chaos"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunLookaheadSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-lookahead", "-n", "16384"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lookahead") {
+		t.Errorf("missing lookahead table:\n%s", out.String())
+	}
+}
+
+func TestRunChaosSingleGPU(t *testing.T) {
+	if err := run([]string{"-chaos", "-chaos-gpus", "1"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("single-GPU chaos must fail (no failover target)")
+	}
+}

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,22 +27,31 @@ import (
 )
 
 func main() {
-	dim := flag.Int("dim", 2, "spatial dimension: 2 (Fig 5) or 3 (Fig 6)")
-	replicas := flag.Int("replicas", 20, "Monte-Carlo replicas per case (paper: 100)")
-	n := flag.Int("n", 400, "locations per replica (paper: 40,000)")
-	ts := flag.Int("ts", 64, "tile size")
-	levelsFlag := flag.String("levels", "0,1e-9,1e-4,1e-2", "accuracy levels u_req (0 = exact FP64)")
-	seed := flag.Uint64("seed", 7, "RNG seed")
-	caseFilter := flag.String("case", "", "run only the named case (substring match)")
-	maxEvals := flag.Int("maxevals", 0, "cap optimizer evaluations per fit (0 = default)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "accuracy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("accuracy", flag.ContinueOnError)
+	dim := fs.Int("dim", 2, "spatial dimension: 2 (Fig 5) or 3 (Fig 6)")
+	replicas := fs.Int("replicas", 20, "Monte-Carlo replicas per case (paper: 100)")
+	n := fs.Int("n", 400, "locations per replica (paper: 40,000)")
+	ts := fs.Int("ts", 64, "tile size")
+	levelsFlag := fs.String("levels", "0,1e-9,1e-4,1e-2", "accuracy levels u_req (0 = exact FP64)")
+	seed := fs.Uint64("seed", 7, "RNG seed")
+	caseFilter := fs.String("case", "", "run only the named case (substring match)")
+	maxEvals := fs.Int("maxevals", 0, "cap optimizer evaluations per fit (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var levels []float64
 	for _, p := range strings.Split(*levelsFlag, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "accuracy: bad level %q\n", p)
-			os.Exit(1)
+			return fmt.Errorf("bad level %q", p)
 		}
 		levels = append(levels, v)
 	}
@@ -53,8 +63,7 @@ func main() {
 	case 3:
 		cases = bench.Fig6Cases()
 	default:
-		fmt.Fprintln(os.Stderr, "accuracy: -dim must be 2 or 3")
-		os.Exit(1)
+		return fmt.Errorf("-dim must be 2 or 3")
 	}
 
 	for _, c := range cases {
@@ -63,8 +72,7 @@ func main() {
 		}
 		res, err := bench.AccuracyStudyEvals(c, levels, *replicas, *n, *ts, *seed, *maxEvals)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "accuracy: %s: %v\n", c.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", c.Name, err)
 		}
 		t := bench.NewTable(
 			fmt.Sprintf("%s (truth %v, %d replicas of n=%d)", c.Name, c.TrueTheta, *replicas, *n),
@@ -77,6 +85,7 @@ func main() {
 			s := r.Summary
 			t.Add(u, r.Param, r.Truth, s.Median, s.Mean, s.Q1, s.Q3, s.WhiskerLo, s.WhiskerHi, r.Failed)
 		}
-		t.Write(os.Stdout)
+		t.Write(out)
 	}
+	return nil
 }

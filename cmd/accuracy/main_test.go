@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-dim", "2", "-replicas", "2", "-n", "48", "-ts", "16",
+		"-levels", "0,1e-2", "-case", "2D-sqexp weak", "-maxevals", "4"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"2D-sqexp weak", "2 replicas of n=48", "exact", "1e-02"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBadDim(t *testing.T) {
+	if err := run([]string{"-dim", "4"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-dim 4 must fail")
+	}
+}

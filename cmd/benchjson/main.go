@@ -31,7 +31,7 @@ type record struct {
 	Name    string       `json:"name"`
 	Before  *measurement `json:"before,omitempty"`
 	After   measurement  `json:"after"`
-	Speedup float64      `json:"speedup,omitempty"`    // before.ns / after.ns
+	Speedup float64      `json:"speedup,omitempty"`      // before.ns / after.ns
 	AllocsX float64      `json:"allocs_ratio,omitempty"` // before.allocs / after.allocs
 }
 
@@ -44,28 +44,38 @@ type report struct {
 }
 
 func main() {
-	seedPath := flag.String("seed", "", "baseline `file` of go test -bench output (the before numbers)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	seedPath := fs.String("seed", "", "baseline `file` of go test -bench output (the before numbers)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var seed map[string]measurement
 	if *seedPath != "" {
 		f, err := os.Open(*seedPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		seed, _, err = parseBench(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
-	after, meta, err := parseBench(os.Stdin)
+	after, meta, err := parseBench(in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if len(after) == 0 {
-		fatal(fmt.Errorf("no benchmark lines on stdin"))
+		return fmt.Errorf("no benchmark lines on stdin")
 	}
 
 	rep := report{Goos: meta["goos"], Goarch: meta["goarch"], CPU: meta["cpu"], Seed: *seedPath}
@@ -84,11 +94,9 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, r)
 	}
 
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fatal(err)
-	}
+	return enc.Encode(rep)
 }
 
 // parseBench extracts benchmark lines and header metadata (goos/goarch/cpu)
@@ -164,9 +172,4 @@ func sortedKeys(m map[string]measurement) []string {
 
 func round2(x float64) float64 {
 	return float64(int64(x*100+0.5)) / 100
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchjson:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+cpu: test
+BenchmarkGemm/fp64-8    100    12345 ns/op    64 B/op    2 allocs/op
+BenchmarkGemm/fp16-8    400     3000 ns/op    64 B/op    2 allocs/op
+PASS
+`
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(benchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || len(rep.Benchmarks) != 2 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkGemm/fp16" {
+		t.Errorf("CPU suffix not stripped / not sorted: %q", rep.Benchmarks[0].Name)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("empty bench input must fail")
+	}
+}

@@ -10,11 +10,13 @@
 //	convbench -gpus 1 -machine Haxane     # Fig 8c
 //	convbench -node -machine Summit       # Fig 11a (6×V100)
 //	convbench -node -machine Guyot        # Fig 11b (8×A100)
+//	convbench -node -faults 'kill:dev=5,at=0.5'   # with a device failure
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -24,17 +26,27 @@ import (
 )
 
 func main() {
-	machine := flag.String("machine", "Summit", "node type: Summit (V100), Guyot (A100), Haxane (H100)")
-	gpus := flag.Int("gpus", 1, "GPUs to use (ignored with -node)")
-	node := flag.Bool("node", false, "use every GPU of the node (Fig 11)")
-	sizesFlag := flag.String("sizes", "", "comma-separated matrix sizes (default: per-machine sweep)")
-	ts := flag.Int("ts", 2048, "tile size")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "convbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("convbench", flag.ContinueOnError)
+	machine := fs.String("machine", "Summit", "node type: Summit (V100), Guyot (A100), Haxane (H100)")
+	gpus := fs.Int("gpus", 1, "GPUs to use (ignored with -node)")
+	node := fs.Bool("node", false, "use every GPU of the node (Fig 11)")
+	sizesFlag := fs.String("sizes", "", "comma-separated matrix sizes (default: per-machine sweep)")
+	ts := fs.Int("ts", 2048, "tile size")
+	faults := fs.String("faults", "", "fault plan injected into every run (see runtime.ParseFaultSpec)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	nd, err := hw.NodeByName(*machine)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "convbench:", err)
-		os.Exit(1)
+		return err
 	}
 	g := *gpus
 	if *node {
@@ -52,17 +64,15 @@ func main() {
 		for _, p := range strings.Split(*sizesFlag, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(p))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "convbench: bad size %q\n", p)
-				os.Exit(1)
+				return fmt.Errorf("bad size %q", p)
 			}
 			sizes = append(sizes, v)
 		}
 	}
 
-	rows, err := bench.ConvSweep(nd, 1, g, sizes, *ts)
+	rows, err := bench.ConvSweepFaults(nd, 1, g, sizes, *ts, *faults)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "convbench:", err)
-		os.Exit(1)
+		return err
 	}
 	fig := "Fig 8"
 	if g > 1 {
@@ -74,7 +84,7 @@ func main() {
 	for _, r := range rows {
 		t.Add(r.Config, r.Strategy, r.N, r.Tflops, r.PctPeak, r.Time, bench.HumanBytes(r.BytesH2D))
 	}
-	t.Write(os.Stdout)
+	t.Write(out)
 
 	// Summarize STC/TTC speedups per config at the largest size.
 	last := sizes[len(sizes)-1]
@@ -96,5 +106,6 @@ func main() {
 		}
 		st.Add(cfg.Name, m["STC"]/m["TTC"])
 	}
-	st.Write(os.Stdout)
+	st.Write(out)
+	return nil
 }

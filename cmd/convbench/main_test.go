@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-machine", "Summit", "-gpus", "1", "-sizes", "16384"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fig 8: STC vs TTC on 1×V100", "STC/TTC speedup at N=16384"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBadMachine(t *testing.T) {
+	if err := run([]string{"-machine", "Frontier"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown machine must fail")
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,39 +36,47 @@ func parseSizes(s string) ([]int, error) {
 }
 
 func main() {
-	table1 := flag.Bool("table1", false, "print Table I (GPU peak performance)")
-	table2 := flag.Bool("table2", false, "print Table II (tile move + GEMM times on V100)")
-	fig1 := flag.Bool("fig1", false, "run Fig 1 (GEMM accuracy and performance)")
-	accSizes := flag.String("acc-sizes", "64,128,256,512", "GEMM sizes for the accuracy study (real computation)")
-	perfSizes := flag.String("perf-sizes", "2048,4096,8192,16384,32768", "GEMM sizes for the performance model")
-	seed := flag.Uint64("seed", 42, "RNG seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gemmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gemmbench", flag.ContinueOnError)
+	table1 := fs.Bool("table1", false, "print Table I (GPU peak performance)")
+	table2 := fs.Bool("table2", false, "print Table II (tile move + GEMM times on V100)")
+	fig1 := fs.Bool("fig1", false, "run Fig 1 (GEMM accuracy and performance)")
+	accSizes := fs.String("acc-sizes", "64,128,256,512", "GEMM sizes for the accuracy study (real computation)")
+	perfSizes := fs.String("perf-sizes", "2048,4096,8192,16384,32768", "GEMM sizes for the performance model")
+	seed := fs.Uint64("seed", 42, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if !*table1 && !*table2 && !*fig1 {
 		*table1, *table2, *fig1 = true, true, true
 	}
 
 	if *table1 {
-		bench.Table1().Write(os.Stdout)
+		bench.Table1().Write(out)
 	}
 
 	if *fig1 {
 		sizes, err := parseSizes(*accSizes)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gemmbench:", err)
-			os.Exit(1)
+			return err
 		}
 		acc := bench.GemmAccuracy(sizes, *seed)
 		t := bench.NewTable("Fig 1 (accuracy): relative Frobenius error vs FP64", "N", "Precision", "RelErr")
 		for _, r := range acc {
 			t.Add(r.N, r.Prec.String(), fmt.Sprintf("%.3e", r.Err))
 		}
-		t.Write(os.Stdout)
+		t.Write(out)
 
 		psizes, err := parseSizes(*perfSizes)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gemmbench:", err)
-			os.Exit(1)
+			return err
 		}
 		perf := bench.GemmPerformance([]*hw.GPUSpec{hw.V100, hw.A100, hw.H100}, psizes)
 		tp := bench.NewTable("Fig 1 (performance): modeled GEMM throughput (conversion included)",
@@ -75,7 +84,7 @@ func main() {
 		for _, r := range perf {
 			tp.Add(r.GPU, r.N, r.Prec.String(), r.Tflops, r.PeakPct)
 		}
-		tp.Write(os.Stdout)
+		tp.Write(out)
 	}
 
 	if *table2 {
@@ -91,8 +100,9 @@ func main() {
 			}
 			t.Add(cells...)
 		}
-		t.Write(os.Stdout)
+		t.Write(out)
 	}
+	return nil
 }
 
 func sizesToStrings(sizes []int) []string {

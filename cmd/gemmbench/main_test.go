@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table1", "-table2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Table I: peak performance", "Table II: time measurement on V100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBadSizes(t *testing.T) {
+	if err := run([]string{"-fig1", "-acc-sizes", "64,nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad -acc-sizes must fail")
+	}
+}

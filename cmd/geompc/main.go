@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"geompc/internal/bench"
@@ -21,69 +22,78 @@ import (
 )
 
 func main() {
-	n := flag.Int("n", 400, "number of spatial locations")
-	kernelName := flag.String("kernel", "2D-Matern", "covariance: 2D-sqexp, 2D-Matern, 3D-sqexp")
-	ureq := flag.Float64("ureq", 1e-9, "required accuracy u_req (0 = exact FP64)")
-	ts := flag.Int("ts", 64, "tile size")
-	machine := flag.String("machine", "Summit", "GPU machine: Summit (V100), Guyot (A100), Haxane (H100)")
-	gpus := flag.Int("gpus", 1, "GPUs")
-	seed := flag.Uint64("seed", 42, "dataset seed")
-	compare := flag.Bool("compare", false, "also fit in exact FP64 and report the difference")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "geompc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("geompc", flag.ContinueOnError)
+	n := fs.Int("n", 400, "number of spatial locations")
+	kernelName := fs.String("kernel", "2D-Matern", "covariance: 2D-sqexp, 2D-Matern, 3D-sqexp")
+	ureq := fs.Float64("ureq", 1e-9, "required accuracy u_req (0 = exact FP64)")
+	ts := fs.Int("ts", 64, "tile size")
+	machine := fs.String("machine", "Summit", "GPU machine: Summit (V100), Guyot (A100), Haxane (H100)")
+	gpus := fs.Int("gpus", 1, "GPUs")
+	seed := fs.Uint64("seed", 42, "dataset seed")
+	compare := fs.Bool("compare", false, "also fit in exact FP64 and report the difference")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	app, ok := bench.AppByName(*kernelName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "geompc: unknown kernel %q\n", *kernelName)
-		os.Exit(1)
+		return fmt.Errorf("unknown kernel %q", *kernelName)
 	}
 	nd, err := hw.NodeByName(*machine)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "geompc:", err)
-		os.Exit(1)
+		return err
 	}
 	mach := core.Machine{Node: nd, Ranks: 1, GPUs: *gpus}
 
-	fmt.Printf("generating %d %s locations from θ=%v (seed %d)...\n", *n, app.Name, app.Theta, *seed)
+	fmt.Fprintf(out, "generating %d %s locations from θ=%v (seed %d)...\n", *n, app.Name, app.Theta, *seed)
 	ds, err := core.GenerateDataset(*n, app.Kernel.Dim(), app.Kernel, app.Theta, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "geompc:", err)
-		os.Exit(1)
+		return err
 	}
 
-	run := func(u float64) *core.FitReport {
-		rep, err := core.Fit(ds, core.Options{UReq: u, TileSize: *ts, Machine: mach})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "geompc:", err)
-			os.Exit(1)
-		}
-		return rep
+	fit := func(u float64) (*core.FitReport, error) {
+		return core.Fit(ds, core.Options{UReq: u, TileSize: *ts, Machine: mach})
 	}
 
-	rep := run(*ureq)
+	rep, err := fit(*ureq)
+	if err != nil {
+		return err
+	}
 	label := "exact FP64"
 	if *ureq > 0 {
 		label = fmt.Sprintf("adaptive MP @ u_req=%.0e", *ureq)
 	}
-	fmt.Printf("\nfit (%s) on %d×%s:\n", label, *gpus, nd.GPU.Name)
+	fmt.Fprintf(out, "\nfit (%s) on %d×%s:\n", label, *gpus, nd.GPU.Name)
 	for i, name := range rep.ParamNames {
-		fmt.Printf("  %-8s = %.4f  (truth %.4f)\n", name, rep.Theta[i], app.Theta[i])
+		fmt.Fprintf(out, "  %-8s = %.4f  (truth %.4f)\n", name, rep.Theta[i], app.Theta[i])
 	}
-	fmt.Printf("  -loglik  = %.4f  (converged: %v)\n", rep.NegLogLik, rep.Converged)
-	fmt.Printf("simulated cost: %d likelihood evaluations, %.3f s machine time, %.1f J, %.2f Gflops/W, H2D %s\n",
+	fmt.Fprintf(out, "  -loglik  = %.4f  (converged: %v)\n", rep.NegLogLik, rep.Converged)
+	fmt.Fprintf(out, "simulated cost: %d likelihood evaluations, %.3f s machine time, %.1f J, %.2f Gflops/W, H2D %s\n",
 		rep.Evaluations, rep.Time, rep.Energy, rep.GflopsPerW, bench.HumanBytes(rep.BytesH2D))
 	if *ts < 512 {
-		fmt.Println("note: at toy tile sizes the simulated cost is kernel-launch bound;")
-		fmt.Println("      use examples/quickstart or core.ProjectFactorization for")
-		fmt.Println("      production-scale (tile 2048) speedup/energy projections")
+		fmt.Fprintln(out, "note: at toy tile sizes the simulated cost is kernel-launch bound;")
+		fmt.Fprintln(out, "      use examples/quickstart or core.ProjectFactorization for")
+		fmt.Fprintln(out, "      production-scale (tile 2048) speedup/energy projections")
 	}
 
 	if *compare && *ureq > 0 {
-		ex := run(0)
-		fmt.Printf("\nexact FP64 reference:\n")
-		for i, name := range ex.ParamNames {
-			fmt.Printf("  %-8s = %.4f  (MP diff %+.2e)\n", name, ex.Theta[i], rep.Theta[i]-ex.Theta[i])
+		ex, err := fit(0)
+		if err != nil {
+			return err
 		}
-		fmt.Printf("  simulated time %.3f s (MP speedup %.2fx), energy %.1f J (MP saving %.1f%%)\n",
+		fmt.Fprintf(out, "\nexact FP64 reference:\n")
+		for i, name := range ex.ParamNames {
+			fmt.Fprintf(out, "  %-8s = %.4f  (MP diff %+.2e)\n", name, ex.Theta[i], rep.Theta[i]-ex.Theta[i])
+		}
+		fmt.Fprintf(out, "  simulated time %.3f s (MP speedup %.2fx), energy %.1f J (MP saving %.1f%%)\n",
 			ex.Time, ex.Time/rep.Time, ex.Energy, 100*(1-rep.Energy/ex.Energy))
 	}
+	return nil
 }

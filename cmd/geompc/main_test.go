@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "64", "-ts", "32", "-ureq", "1e-4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"generating 64 2D-Matern locations", "fit (adaptive MP @ u_req=1e-04)", "simulated cost"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBadKernel(t *testing.T) {
+	if err := run([]string{"-kernel", "5D-nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown kernel must fail")
+	}
+}

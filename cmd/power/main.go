@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,16 +22,26 @@ import (
 )
 
 func main() {
-	occupancy := flag.Bool("occupancy", false, "print Fig 9 occupancy traces (H100)")
-	fig10 := flag.Bool("fig10", false, "print Fig 10 power/energy comparison")
-	machine := flag.String("machine", "", "restrict Fig 10 to one node type (Summit/Guyot/Haxane)")
-	n := flag.Int("n", 0, "matrix size override (default: paper sizing per GPU)")
-	ts := flag.Int("ts", 2048, "tile size")
-	bins := flag.Int("bins", 40, "trace windows")
-	trace := flag.Bool("trace", false, "print the full power trace, not just totals")
-	chrome := flag.String("chrome", "", "write the first Fig 10 run's timeline as Chrome trace JSON to this file")
-	audit := flag.Bool("audit", false, "run every factorization under the engine's invariant auditor")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "power:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("power", flag.ContinueOnError)
+	occupancy := fs.Bool("occupancy", false, "print Fig 9 occupancy traces (H100)")
+	fig10 := fs.Bool("fig10", false, "print Fig 10 power/energy comparison")
+	machine := fs.String("machine", "", "restrict Fig 10 to one node type (Summit/Guyot/Haxane)")
+	n := fs.Int("n", 0, "matrix size override (default: paper sizing per GPU)")
+	ts := fs.Int("ts", 2048, "tile size")
+	bins := fs.Int("bins", 40, "trace windows")
+	trace := fs.Bool("trace", false, "print the full power trace, not just totals")
+	chrome := fs.String("chrome", "", "write the first Fig 10 run's timeline as Chrome trace JSON to this file")
+	audit := fs.Bool("audit", false, "run every factorization under the engine's invariant auditor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if !*occupancy && !*fig10 {
 		*occupancy, *fig10 = true, true
@@ -42,26 +53,25 @@ func main() {
 		if size == 0 {
 			size = 81920
 		}
-		fmt.Printf("## Fig 9: GPU occupancy of one H100 (N=%d)\n", size)
+		fmt.Fprintf(out, "## Fig 9: GPU occupancy of one H100 (N=%d)\n", size)
 		for _, cfg := range bench.OccupancyConfigs() {
 			cfg.Audit = *audit
 			run, err := bench.EnergyRunOne(hw.HaxaneNode, cfg, size, *ts, *bins, 1)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "power:", err)
-				os.Exit(1)
+				return err
 			}
 			var avg float64
 			for _, o := range run.Occupancy {
 				avg += o.V
 			}
 			avg /= float64(len(run.Occupancy))
-			fmt.Printf("%-14s time %7.2fs  mean occupancy %5.1f%%  trace:", cfg.Label, run.Time, 100*avg)
+			fmt.Fprintf(out, "%-14s time %7.2fs  mean occupancy %5.1f%%  trace:", cfg.Label, run.Time, 100*avg)
 			for _, o := range run.Occupancy {
-				fmt.Printf(" %2.0f", 100*o.V)
+				fmt.Fprintf(out, " %2.0f", 100*o.V)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if *fig10 {
@@ -69,8 +79,7 @@ func main() {
 		if *machine != "" {
 			nd, err := hw.NodeByName(*machine)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "power:", err)
-				os.Exit(1)
+				return err
 			}
 			nodes = []*hw.NodeSpec{nd}
 		}
@@ -92,16 +101,14 @@ func main() {
 				cfg.Audit = *audit
 				run, err := bench.EnergyRunOne(nd, cfg, size, *ts, *bins, 1)
 				if err != nil {
-					fmt.Fprintln(os.Stderr, "power:", err)
-					os.Exit(1)
+					return err
 				}
 				t.Add(run.Label, run.Time, run.EnergyJ/1e3, run.AvgPower, run.GflopsPerW)
 				if *chrome != "" {
 					if err := writeChrome(*chrome, run); err != nil {
-						fmt.Fprintln(os.Stderr, "power:", err)
-						os.Exit(1)
+						return err
 					}
-					fmt.Printf("chrome trace of %s written to %s\n", run.Label, *chrome)
+					fmt.Fprintf(out, "chrome trace of %s written to %s\n", run.Label, *chrome)
 					*chrome = "" // first run only
 				}
 				if *trace {
@@ -109,13 +116,14 @@ func main() {
 					for _, p := range run.Power {
 						fmt.Fprintf(&sb, " %4.0f", p.V)
 					}
-					fmt.Printf("trace %-14s (W):%s\n", run.Label, sb.String())
+					fmt.Fprintf(out, "trace %-14s (W):%s\n", run.Label, sb.String())
 				}
 			}
-			t.Write(os.Stdout)
-			fmt.Printf("max TDP on %s: %.0f W\n\n", nd.GPU.Name, nd.GPU.TDP)
+			t.Write(out)
+			fmt.Fprintf(out, "max TDP on %s: %.0f W\n\n", nd.GPU.Name, nd.GPU.TDP)
 		}
 	}
+	return nil
 }
 
 // writeChrome exports one energy run's timeline as Chrome trace JSON.

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig10", "-machine", "Summit", "-n", "16384"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fig 10: power/energy on one V100 (N=16384)", "max TDP on V100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBadMachine(t *testing.T) {
+	if err := run([]string{"-fig10", "-machine", "Frontier"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown machine must fail")
+	}
+}

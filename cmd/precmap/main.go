@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"geompc/internal/bench"
@@ -20,17 +21,27 @@ import (
 )
 
 func main() {
-	demo := flag.Bool("demo", false, "print a small kernel/storage precision map (Fig 2)")
-	comm := flag.Bool("comm", false, "print the Algorithm 2 communication map (Fig 4)")
-	fig7 := flag.Bool("fig7", false, "print the per-application precision fractions (Fig 7)")
-	n := flag.Int("n", 65536, "matrix size for -fig7 (paper: 409600)")
-	ts := flag.Int("ts", 2048, "tile size (paper: 2048)")
-	demoN := flag.Int("demo-n", 8192, "matrix size for -demo/-comm")
-	demoTS := flag.Int("demo-ts", 1024, "tile size for -demo/-comm")
-	samples := flag.Int("samples", 128, "tile-norm samples per tile")
-	app := flag.String("app", "2D-Matern", "application for -demo/-comm")
-	seed := flag.Uint64("seed", 3, "RNG seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "precmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("precmap", flag.ContinueOnError)
+	demo := fs.Bool("demo", false, "print a small kernel/storage precision map (Fig 2)")
+	comm := fs.Bool("comm", false, "print the Algorithm 2 communication map (Fig 4)")
+	fig7 := fs.Bool("fig7", false, "print the per-application precision fractions (Fig 7)")
+	n := fs.Int("n", 65536, "matrix size for -fig7 (paper: 409600)")
+	ts := fs.Int("ts", 2048, "tile size (paper: 2048)")
+	demoN := fs.Int("demo-n", 8192, "matrix size for -demo/-comm")
+	demoTS := fs.Int("demo-ts", 1024, "tile size for -demo/-comm")
+	samples := fs.Int("samples", 128, "tile-norm samples per tile")
+	app := fs.String("app", "2D-Matern", "application for -demo/-comm")
+	seed := fs.Uint64("seed", 3, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if !*demo && !*comm && !*fig7 {
 		*demo, *comm, *fig7 = true, true, true
@@ -39,25 +50,23 @@ func main() {
 	if *demo || *comm {
 		a, ok := bench.AppByName(*app)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "precmap: unknown app %q\n", *app)
-			os.Exit(1)
+			return fmt.Errorf("unknown app %q", *app)
 		}
 		res, err := bench.PrecisionMap(a, *demoN, *demoTS, *samples, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "precmap:", err)
-			os.Exit(1)
+			return err
 		}
 		if *demo {
-			fmt.Printf("## Fig 2a: kernel-precision map (%s, N=%d, NT=%d)\n", a.Name, *demoN, res.NT)
-			fmt.Println("D=FP64  S=FP32  h=FP16_32  H=FP16")
-			fmt.Println(bench.RenderKernelMap(res.Maps))
-			fmt.Printf("## Fig 2b: storage-precision map\n")
-			fmt.Println(bench.RenderStorageMap(res.Maps))
+			fmt.Fprintf(out, "## Fig 2a: kernel-precision map (%s, N=%d, NT=%d)\n", a.Name, *demoN, res.NT)
+			fmt.Fprintln(out, "D=FP64  S=FP32  h=FP16_32  H=FP16")
+			fmt.Fprintln(out, bench.RenderKernelMap(res.Maps))
+			fmt.Fprintf(out, "## Fig 2b: storage-precision map\n")
+			fmt.Fprintln(out, bench.RenderStorageMap(res.Maps))
 		}
 		if *comm {
-			fmt.Printf("## Fig 4b: communication-precision map (Algorithm 2); '*' marks STC\n")
-			fmt.Println(bench.RenderCommMap(res.Maps))
-			fmt.Printf("STC share of communication-issuing tasks: %.1f%%\n\n", 100*res.STCShare)
+			fmt.Fprintf(out, "## Fig 4b: communication-precision map (Algorithm 2); '*' marks STC\n")
+			fmt.Fprintln(out, bench.RenderCommMap(res.Maps))
+			fmt.Fprintf(out, "STC share of communication-issuing tasks: %.1f%%\n\n", 100*res.STCShare)
 		}
 	}
 
@@ -68,14 +77,14 @@ func main() {
 		for _, a := range bench.Apps() {
 			res, err := bench.PrecisionMap(a, *n, *ts, *samples, *seed)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "precmap:", err)
-				os.Exit(1)
+				return err
 			}
 			f := res.Fractions
 			t.Add(a.Name, fmt.Sprintf("%.0e", a.UReq),
 				100*f[prec.FP64], 100*f[prec.FP32], 100*f[prec.FP16x32], 100*f[prec.FP16],
 				100*res.STCShare)
 		}
-		t.Write(os.Stdout)
+		t.Write(out)
 	}
+	return nil
 }

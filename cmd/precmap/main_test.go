@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-demo", "-comm", "-demo-n", "1024", "-demo-ts", "256"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fig 2a: kernel-precision map", "Fig 2b: storage-precision map", "Fig 4b: communication-precision map"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBadApp(t *testing.T) {
+	if err := run([]string{"-demo", "-app", "4D-nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown app must fail")
+	}
+}

@@ -8,6 +8,7 @@
 //	scale -strong                     # Fig 12b, N=798720
 //	scale -mp                         # Fig 12c, 64 nodes
 //	scale -mp -nodes 8 -sizes 98304,196608   # scaled down
+//	scale -weak -faults 'flaky:dev=0,at=0.1,backoff=0.01'   # resilience
 //
 // The full 64-node runs simulate ~10⁷ tasks; expect minutes.
 package main
@@ -15,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,16 +37,27 @@ func parseInts(s string) ([]int, error) {
 }
 
 func main() {
-	weak := flag.Bool("weak", false, "run weak scaling (Fig 12a)")
-	strong := flag.Bool("strong", false, "run strong scaling (Fig 12b)")
-	mp := flag.Bool("mp", false, "run the MP effect at scale (Fig 12c)")
-	nodesFlag := flag.String("nodes", "1,4,16,64", "node counts for -weak/-strong")
-	mpNodes := flag.Int("mp-nodes", 64, "node count for -mp (paper: 64 = 384 GPUs)")
-	baseN := flag.Int("base-n", 98304, "weak-scaling matrix size on the first node count")
-	strongN := flag.Int("strong-n", 798720, "strong-scaling matrix size (paper: 798720)")
-	sizesFlag := flag.String("sizes", "196608,399360,598016,798720", "matrix sizes for -mp")
-	ts := flag.Int("ts", 2048, "tile size")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scale:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scale", flag.ContinueOnError)
+	weak := fs.Bool("weak", false, "run weak scaling (Fig 12a)")
+	strong := fs.Bool("strong", false, "run strong scaling (Fig 12b)")
+	mp := fs.Bool("mp", false, "run the MP effect at scale (Fig 12c)")
+	nodesFlag := fs.String("nodes", "1,4,16,64", "node counts for -weak/-strong")
+	mpNodes := fs.Int("mp-nodes", 64, "node count for -mp (paper: 64 = 384 GPUs)")
+	baseN := fs.Int("base-n", 98304, "weak-scaling matrix size on the first node count")
+	strongN := fs.Int("strong-n", 798720, "strong-scaling matrix size (paper: 798720)")
+	sizesFlag := fs.String("sizes", "196608,399360,598016,798720", "matrix sizes for -mp")
+	ts := fs.Int("ts", 2048, "tile size")
+	faults := fs.String("faults", "", "fault plan injected into every -weak/-strong run (see runtime.ParseFaultSpec)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if !*weak && !*strong && !*mp {
 		*weak, *strong, *mp = true, true, true
@@ -52,54 +65,50 @@ func main() {
 
 	nodes, err := parseInts(*nodesFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scale:", err)
-		os.Exit(1)
+		return err
 	}
 
 	if *weak {
-		rows, err := bench.WeakScaling(nodes, *baseN, *ts)
+		rows, err := bench.WeakScalingFaults(nodes, *baseN, *ts, *faults)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "scale:", err)
-			os.Exit(1)
+			return err
 		}
 		t := bench.NewTable("Fig 12a: weak scalability on Summit (FP64)",
 			"Nodes", "GPUs", "N", "Tflop/s", "%peak", "Time(s)")
 		for _, r := range rows {
 			t.Add(r.Nodes, r.GPUs, r.N, r.Tflops, r.PctPeak, r.Time)
 		}
-		t.Write(os.Stdout)
+		t.Write(out)
 	}
 
 	if *strong {
-		rows, err := bench.StrongScaling(nodes, *strongN, *ts)
+		rows, err := bench.StrongScalingFaults(nodes, *strongN, *ts, *faults)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "scale:", err)
-			os.Exit(1)
+			return err
 		}
 		t := bench.NewTable(fmt.Sprintf("Fig 12b: strong scalability on Summit (FP64, N=%d)", *strongN),
 			"Nodes", "GPUs", "Tflop/s", "%peak", "Time(s)")
 		for _, r := range rows {
 			t.Add(r.Nodes, r.GPUs, r.Tflops, r.PctPeak, r.Time)
 		}
-		t.Write(os.Stdout)
+		t.Write(out)
 	}
 
 	if *mp {
 		sizes, err := parseInts(*sizesFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "scale:", err)
-			os.Exit(1)
+			return err
 		}
 		rows, err := bench.MPEffect(*mpNodes, sizes, *ts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "scale:", err)
-			os.Exit(1)
+			return err
 		}
 		t := bench.NewTable(fmt.Sprintf("Fig 12c: MP effect on %d nodes (%d GPUs)", *mpNodes, *mpNodes*6),
 			"Config", "N", "Tflop/s", "Speedup vs FP64", "Time(s)")
 		for _, r := range rows {
 			t.Add(r.Config, r.N, r.Tflops, r.Speedup, r.Time)
 		}
-		t.Write(os.Stdout)
+		t.Write(out)
 	}
+	return nil
 }

@@ -7,11 +7,13 @@
 //	trace -nt 4 -gpus 2
 //	trace -nt 8 -chrome out.json     # export a Chrome/Perfetto trace
 //	trace -audit -metrics            # audited run + metrics dump
+//	trace -faults 'kill:dev=1,at=0.004' -audit   # chaos run with recovery
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,33 +26,51 @@ import (
 )
 
 func main() {
-	nt := flag.Int("nt", 4, "tiles per dimension")
-	ts := flag.Int("ts", 2048, "tile size")
-	gpus := flag.Int("gpus", 2, "GPUs on one Summit node")
-	iters := flag.Int("iters", 2, "print tasks of the first k iterations (0 = all)")
-	chrome := flag.String("chrome", "", "write the timeline as Chrome trace-event JSON to this file")
-	audit := flag.Bool("audit", false, "run the engine's invariant auditor; violations are fatal")
-	metrics := flag.Bool("metrics", false, "dump the run's metrics registry after the schedule")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	nt := fs.Int("nt", 4, "tiles per dimension")
+	ts := fs.Int("ts", 2048, "tile size")
+	gpus := fs.Int("gpus", 2, "GPUs on one Summit node")
+	iters := fs.Int("iters", 2, "print tasks of the first k iterations (0 = all)")
+	chrome := fs.String("chrome", "", "write the timeline as Chrome trace-event JSON to this file")
+	audit := fs.Bool("audit", false, "run the engine's invariant auditor; violations are fatal")
+	metrics := fs.Bool("metrics", false, "dump the run's metrics registry after the schedule")
+	faults := fs.String("faults", "", "deterministic fault plan (e.g. 'kill:dev=1,at=0.004;slow:dev=0,from=0,to=0.01,x=4')")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	d, err := tile.NewDesc(*nt**ts, *ts, 1, 1)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
+		return err
 	}
 	maps := precmap.New(precmap.Uniform(*nt, prec.FP16x32), 1e-4)
 	plat, err := runtime.NewPlatform(hw.SummitNode, 1, *gpus)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
+		return err
 	}
-	res, err := cholesky.Run(cholesky.Config{Desc: d, Maps: maps, Platform: plat, Trace: true, Audit: *audit})
+	var injector runtime.FaultInjector
+	if *faults != "" {
+		plan, err := runtime.ParseFaultSpec(*faults, plat.NumDevices())
+		if err != nil {
+			return err
+		}
+		injector = plan
+	}
+	res, err := cholesky.Run(cholesky.Config{
+		Desc: d, Maps: maps, Platform: plat, Trace: true, Audit: *audit, Faults: injector,
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
+		return err
 	}
 	sched := res.Schedule(*nt)
-	fmt.Printf("simulated schedule, NT=%d, %d V100s (FP64 diagonal / FP16_32 off-diagonal):\n\n", *nt, *gpus)
+	fmt.Fprintf(out, "simulated schedule, NT=%d, %d V100s (FP64 diagonal / FP16_32 off-diagonal):\n\n", *nt, *gpus)
 	makespan := res.Stats.Makespan
 	for _, t := range sched {
 		if *iters > 0 && !inFirstIters(t.Name, *iters) {
@@ -63,35 +83,48 @@ func main() {
 			e = s + 1
 		}
 		bar := strings.Repeat(" ", s) + strings.Repeat("#", e-s) + strings.Repeat(" ", barLen-e)
-		fmt.Printf("dev%-2d |%s| %8.3f→%-8.3f ms  %s\n", t.Device, bar, t.Start*1e3, t.End*1e3, t.Name)
+		fmt.Fprintf(out, "dev%-2d |%s| %8.3f→%-8.3f ms  %s\n", t.Device, bar, t.Start*1e3, t.End*1e3, t.Name)
 	}
-	fmt.Printf("\nmakespan %.3f ms, %d tasks, %.1f Tflop/s, schedule digest %016x\n",
+	fmt.Fprintf(out, "\nmakespan %.3f ms, %d tasks, %.1f Tflop/s, schedule digest %016x\n",
 		makespan*1e3, res.Stats.Tasks, res.Stats.Flops/1e12, res.Stats.ScheduleDigest)
+	if st := res.Stats; st.DeviceFailures+st.TransientFaults > 0 {
+		fmt.Fprintf(out, "faults: %d device failure(s), %d transient(s); recovery replayed %d task(s), retried %d, re-staged %s\n",
+			st.DeviceFailures, st.TransientFaults, st.ReplayedTasks, st.RetriedTasks, humanBytes(st.RecoveryBytes))
+	}
 
 	if *chrome != "" {
 		f, err := os.Create(*chrome)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := res.WriteChromeTrace(f, *nt); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev or chrome://tracing)\n", *chrome)
+		fmt.Fprintf(out, "chrome trace written to %s (open in ui.perfetto.dev or chrome://tracing)\n", *chrome)
 	}
 	if *metrics {
-		fmt.Println("\nmetrics:")
-		if _, err := res.Metrics().WriteTo(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+		fmt.Fprintln(out, "\nmetrics:")
+		if _, err := res.Metrics().WriteTo(out); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
 }
 
 // inFirstIters reports whether the task belongs to iteration < k of

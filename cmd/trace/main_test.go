@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nt", "4", "-gpus", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"simulated schedule, NT=4", "makespan", "schedule digest"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "faults:") {
+		t.Error("fault-free run must not print a faults line")
+	}
+}
+
+func TestRunChaosSmoke(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-nt", "5", "-gpus", "3", "-audit", "-faults", "kill:dev=1,at=0.0001"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "faults: 1 device failure(s)") {
+		t.Errorf("chaos run missing recovery summary:\n%s", out.String())
+	}
+}
+
+func TestRunBadFaultSpec(t *testing.T) {
+	if err := run([]string{"-faults", "kill:dev=99,at=0.5"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("out-of-range fault device must fail")
+	}
+}

@@ -59,9 +59,24 @@ type ConvRow struct {
 // ConvSweep runs Fig 8 (single GPU) or Fig 11 (full node) for one machine:
 // every configuration × {STC, TTC} × matrix size, in phantom mode.
 func ConvSweep(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int) ([]ConvRow, error) {
+	return ConvSweepFaults(node, ranks, gpusPerRank, sizes, ts, "")
+}
+
+// ConvSweepFaults is ConvSweep with a fault plan injected into every run
+// (runtime.ParseFaultSpec grammar; empty means fault-free). Reported times
+// then include the recovery overhead the plan causes.
+func ConvSweepFaults(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int, faultSpec string) ([]ConvRow, error) {
 	plat, err := runtime.NewPlatform(node, ranks, gpusPerRank)
 	if err != nil {
 		return nil, err
+	}
+	var faults runtime.FaultInjector
+	if faultSpec != "" {
+		plan, err := runtime.ParseFaultSpec(faultSpec, plat.NumDevices())
+		if err != nil {
+			return nil, err
+		}
+		faults = plan
 	}
 	var rows []ConvRow
 	for _, cfg := range ConvConfigs() {
@@ -81,6 +96,7 @@ func ConvSweep(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int) (
 				maps := precmap.New(cfg.KernelMap(desc.NT), 1e-2)
 				res, err := cholesky.Run(cholesky.Config{
 					Desc: desc, Maps: maps, Platform: plat, Strategy: strat,
+					Faults: faults,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("bench: %s %v n=%d: %w", cfg.Name, strat, n, err)

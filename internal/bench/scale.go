@@ -46,11 +46,21 @@ func scaleConfigs(withFP32 bool) []scaleConfig {
 	return out
 }
 
-// runScale executes one phantom factorization on `nodes` Summit nodes.
-func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64) (ScaleRow, error) {
+// runScale executes one phantom factorization on `nodes` Summit nodes,
+// optionally under a fault plan (runtime.ParseFaultSpec grammar; empty
+// means fault-free).
+func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64, faultSpec string) (ScaleRow, error) {
 	plat, err := runtime.NewPlatform(hw.SummitNode, nodes, 0)
 	if err != nil {
 		return ScaleRow{}, err
+	}
+	var faults runtime.FaultInjector
+	if faultSpec != "" {
+		plan, err := runtime.ParseFaultSpec(faultSpec, plat.NumDevices())
+		if err != nil {
+			return ScaleRow{}, err
+		}
+		faults = plan
 	}
 	pg, qg := tile.SquarestGrid(nodes)
 	desc, err := tile.NewDesc(n, ts, pg, qg)
@@ -71,6 +81,7 @@ func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64) (ScaleRow, error) 
 	maps := precmap.New(km, ureq)
 	res, err := cholesky.Run(cholesky.Config{
 		Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto,
+		Faults: faults,
 	})
 	if err != nil {
 		return ScaleRow{}, fmt.Errorf("bench: scale %s nodes=%d n=%d: %w", cfg.name, nodes, n, err)
@@ -88,12 +99,18 @@ func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64) (ScaleRow, error) 
 // WeakScaling runs Fig 12a: the matrix grows with the GPU count so per-GPU
 // memory stays constant (N ∝ √GPUs), FP64 configuration.
 func WeakScaling(nodeCounts []int, baseN, ts int) ([]ScaleRow, error) {
+	return WeakScalingFaults(nodeCounts, baseN, ts, "")
+}
+
+// WeakScalingFaults is WeakScaling with a fault plan injected into every
+// run; reported times include the recovery overhead.
+func WeakScalingFaults(nodeCounts []int, baseN, ts int, faultSpec string) ([]ScaleRow, error) {
 	var rows []ScaleRow
 	base := float64(nodeCounts[0])
 	for _, nodes := range nodeCounts {
 		n := int(float64(baseN) * math.Sqrt(float64(nodes)/base))
 		n = (n + ts - 1) / ts * ts
-		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1)
+		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1, faultSpec)
 		if err != nil {
 			return nil, err
 		}
@@ -105,9 +122,15 @@ func WeakScaling(nodeCounts []int, baseN, ts int) ([]ScaleRow, error) {
 // StrongScaling runs Fig 12b: fixed matrix size (the paper uses 798,720)
 // over increasing node counts, FP64 configuration.
 func StrongScaling(nodeCounts []int, n, ts int) ([]ScaleRow, error) {
+	return StrongScalingFaults(nodeCounts, n, ts, "")
+}
+
+// StrongScalingFaults is StrongScaling with a fault plan injected into
+// every run; reported times include the recovery overhead.
+func StrongScalingFaults(nodeCounts []int, n, ts int, faultSpec string) ([]ScaleRow, error) {
 	var rows []ScaleRow
 	for _, nodes := range nodeCounts {
-		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1)
+		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1, faultSpec)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +147,7 @@ func MPEffect(nodes int, sizes []int, ts int) ([]ScaleRow, error) {
 	fp64 := make(map[int]float64) // n -> time
 	for _, cfg := range scaleConfigs(true) {
 		for _, n := range sizes {
-			r, err := runScale(cfg, nodes, n, ts, 2)
+			r, err := runScale(cfg, nodes, n, ts, 2, "")
 			if err != nil {
 				return nil, err
 			}

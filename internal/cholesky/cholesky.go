@@ -32,6 +32,12 @@ type Config struct {
 	Audit bool
 	// Lookahead overrides the engine's stream pipeline depth (default 2).
 	Lookahead int
+	// Faults, when non-nil, arms the run with a deterministic fault plan
+	// (device failures, transient kernel faults, host-link slowdowns); see
+	// runtime.ParseFaultSpec for the CLI grammar. A nil injector — or one
+	// with an empty plan — leaves the run bit-identical to a fault-free
+	// engine.
+	Faults runtime.FaultInjector
 }
 
 // Result reports a completed factorization.
@@ -99,6 +105,7 @@ func Run(cfg Config) (*Result, error) {
 	eng := runtime.New(cfg.Platform, g)
 	eng.Trace = cfg.Trace
 	eng.Audit = cfg.Audit
+	eng.Inject(cfg.Faults)
 	if cfg.Lookahead > 0 {
 		eng.Lookahead = cfg.Lookahead
 	}

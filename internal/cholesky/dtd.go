@@ -91,6 +91,7 @@ func RunDTD(cfg Config) (*Result, error) {
 	eng := runtime.New(cfg.Platform, dtd)
 	eng.Trace = cfg.Trace
 	eng.Audit = cfg.Audit
+	eng.Inject(cfg.Faults)
 	if cfg.Lookahead > 0 {
 		eng.Lookahead = cfg.Lookahead
 	}

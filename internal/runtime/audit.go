@@ -72,6 +72,21 @@ func (e *Engine) auditFinal() {
 			}
 		}
 	}
+	if e.armed {
+		// Recovery invariants: every numeric body orphaned by a device
+		// failure must have been joined by a re-commit on a survivor, and a
+		// dead device must end the run empty (its memory is gone). Commits
+		// to a dead device after its failure time are flagged at commit.
+		if len(e.orphan) != 0 {
+			e.violate("recovery: %d aborted task body(ies) never re-committed", len(e.orphan))
+		}
+		for _, d := range e.devices {
+			if d.deadAt >= 0 && (d.nResident != 0 || d.used != 0 || d.ready.Len() != 0) {
+				e.violate("dev%d died at t=%g but still holds %d tile(s), %d B, %d queued task(s)",
+					d.id, d.deadAt, d.nResident, d.used, d.ready.Len())
+			}
+		}
+	}
 
 	// Integrate the traced intervals and compare against the closed-form
 	// energy accrued during the run.
@@ -85,7 +100,9 @@ func (e *Engine) auditFinal() {
 				traced += (iv.End - iv.Start) * iv.Power
 			}
 		}
-		traced += d.spec.IdleW * e.stats.Makespan
+		// A failed device stops drawing idle power at its death time
+		// (finalizeStats accounts it identically).
+		traced += d.spec.IdleW * d.idleSpan(e.stats.Makespan)
 	}
 	if diff := math.Abs(traced - e.stats.Energy); diff > 1e-9*math.Max(1, math.Abs(e.stats.Energy)) {
 		e.violate("energy conservation: traced intervals integrate to %.12g J, Stats.Energy is %.12g J (diff %g)",

@@ -52,6 +52,34 @@ type Engine struct {
 	done      int
 	dirtyDevs []int
 
+	// Fault injection (see faults.go / recovery.go). Everything below is
+	// dormant — and provably free — unless `armed` is set, which happens
+	// only when an injector's plan contains at least one event: a silent
+	// injector leaves every code path, allocation and digest bit-identical
+	// to an engine without fault support.
+	injector FaultInjector
+	armed    bool
+	fatalErr error
+	// orphan holds the result channels of numeric bodies whose virtual task
+	// was aborted by a device failure: the body already ran (bodies execute
+	// eagerly at commit), so the re-commit on a survivor joins the original
+	// channel instead of running the body twice — which is what keeps the
+	// recovered factor bit-identical to a fault-free run.
+	orphan map[int]chan struct{}
+	// lineage tracks, per datum, the completed writers since the last host
+	// sync (publish or eviction writeback). When a device dies, each of its
+	// dirty resident tiles is reconstructed by re-executing this chain on a
+	// survivor; a published or written-back tile needs only a re-fetch.
+	lineage  map[DataID][]int
+	lineageG LineageGraph // optional graph hook, audit cross-check
+	// inRecovery marks commits issued by the recovery path (lineage
+	// replays): their bodies never run and their completion releases no
+	// successors.
+	inRecovery bool
+	aliveBuf   []int
+	abortBuf   []*TaskSpec
+	faultLog   []faultMark
+
 	workers *workerPool
 
 	schedule []ScheduledTask
@@ -78,6 +106,9 @@ type ScheduledTask struct {
 	Device     int
 	Prec       prec.Precision
 	Start, End float64
+	// Recovery marks work issued by the fault-recovery path: lineage
+	// replays reconstructing lost tiles, and transient-fault retries.
+	Recovery bool
 }
 
 type hostKey struct {
@@ -131,6 +162,13 @@ type Stats struct {
 	// and across the PTG and DTD front-ends (task ids are not hashed
 	// because the front-ends number tasks differently).
 	ScheduleDigest uint64
+	// Fault/recovery accounting — non-zero only when a FaultInjector armed
+	// the run (see Engine.Inject).
+	DeviceFailures  int   // devices lost to FaultKill
+	TransientFaults int   // FaultTransient events delivered
+	RetriedTasks    int   // tasks re-executed in place after a transient fault
+	ReplayedTasks   int   // lineage re-executions reconstructing lost tiles
+	RecoveryBytes   int64 // host-link bytes staged by lineage replays
 	// Per-device aggregates.
 	Devices []DeviceStats
 }
@@ -144,6 +182,13 @@ type event struct {
 	seq    int64
 	spec   *TaskSpec
 	result chan struct{} // non-nil when a numeric body runs; closed at finish
+	// start is the compute-stream start of the task (retry cost basis).
+	start float64
+	// fault, when non-nil, makes this a fault-injection event (spec is nil).
+	fault *FaultEvent
+	// replay marks a recovery re-execution: complete() releases no
+	// successors and counts it separately.
+	replay bool
 }
 
 func eventBefore(a, b *event) bool {
@@ -172,7 +217,14 @@ func (e *Engine) popEvent() event {
 	n := len(h) - 1
 	h[0] = h[n]
 	h = h[:n]
-	for i := 0; ; {
+	siftDownEvent(h, 0)
+	e.events = h
+	return top
+}
+
+func siftDownEvent(h []event, i int) {
+	n := len(h)
+	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
 		if l < n && eventBefore(&h[l], &h[m]) {
@@ -182,13 +234,21 @@ func (e *Engine) popEvent() event {
 			m = r
 		}
 		if m == i {
-			break
+			return
 		}
 		h[i], h[m] = h[m], h[i]
 		i = m
 	}
-	e.events = h
-	return top
+}
+
+// heapifyEvents restores the heap invariant after the recovery path edited
+// the slice in place (removing a dead device's completions, or retiming a
+// retried task). O(n), and only ever runs on a fault — never on the hot
+// fault-free path.
+func (e *Engine) heapifyEvents() {
+	for i := len(e.events)/2 - 1; i >= 0; i-- {
+		siftDownEvent(e.events, i)
+	}
 }
 
 // taskHeap orders ready tasks by descending priority, then ascending id —
@@ -259,6 +319,12 @@ func New(plat *Platform, g Graph) *Engine {
 // reset at the start of every Run).
 func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
+// Inject arms subsequent Runs with a fault injector. A nil injector — or
+// one whose Plan is empty — is silent: the engine stays unarmed and every
+// code path, timing and schedule digest is bit-identical to an engine that
+// never saw fault support. Plans with events are validated at Run.
+func (e *Engine) Inject(fi FaultInjector) { e.injector = fi }
+
 // Run executes the task system to completion and returns the run's
 // statistics. It panics on malformed graphs (missing data, dependency
 // cycles leave tasks unexecuted and are reported as an error). With Audit
@@ -309,6 +375,11 @@ func (e *Engine) Run() (Stats, error) {
 	e.bytesH2D, e.bytesD2H, e.bytesNet = [prec.Count]int64{}, [prec.Count]int64{}, [prec.Count]int64{}
 	e.digest = obs.Digest{}
 	e.auditViol = e.auditViol[:0]
+	e.armed, e.fatalErr, e.inRecovery = false, nil, false
+	e.faultLog = e.faultLog[:0]
+	if err := e.armFaults(); err != nil {
+		return Stats{}, err
+	}
 	e.metrics.Reset()
 	e.hTaskSec = e.metrics.Histogram("engine/task_seconds", obs.ExpBuckets(1e-6, 4, 16))
 	e.hH2DBytes = e.metrics.Histogram("engine/h2d_bytes", obs.ExpBuckets(4096, 4, 16))
@@ -338,7 +409,14 @@ func (e *Engine) Run() (Stats, error) {
 	for len(e.events) > 0 {
 		ev := e.popEvent()
 		e.now = ev.at
-		e.complete(&ev)
+		if ev.fault != nil {
+			e.applyFault(ev.fault)
+		} else {
+			e.complete(&ev)
+		}
+		if e.fatalErr != nil {
+			return Stats{}, e.fatalErr
+		}
 	}
 
 	if e.done != n {
@@ -374,6 +452,18 @@ func (e *Engine) enqueueReady(id int) int {
 		panic(fmt.Sprintf("runtime: task %d assigned to invalid device %d", id, spec.Device))
 	}
 	d := e.devices[spec.Device]
+	if e.armed && d.deadAt >= 0 {
+		// The task's home device has failed: deterministically reroute it
+		// to a same-rank survivor (host copies are per rank).
+		t := e.failoverFor(d, failoverKey(spec))
+		if t < 0 {
+			e.fatalErr = fmt.Errorf("runtime: task %d unrecoverable: rank %d has no surviving device", id, d.rank)
+			e.specFree = append(e.specFree, spec)
+			return d.id
+		}
+		spec.Device = t
+		d = e.devices[t]
+	}
 	d.ready.push(spec)
 	if d.ready.Len() > d.maxReady {
 		d.maxReady = d.ready.Len()
@@ -383,6 +473,9 @@ func (e *Engine) enqueueReady(id int) int {
 
 // tryCommit feeds the device's stream pipeline up to the lookahead depth.
 func (e *Engine) tryCommit(d *device) {
+	if d.deadAt >= 0 {
+		return
+	}
 	for d.committed < e.Lookahead && d.ready.Len() > 0 {
 		e.commit(d, d.ready.pop())
 	}
@@ -390,6 +483,10 @@ func (e *Engine) tryCommit(d *device) {
 
 // commit stages a task's data onto the device and schedules its execution.
 func (e *Engine) commit(d *device, spec *TaskSpec) {
+	if e.Audit && d.deadAt >= 0 {
+		e.violate("task %d committed to dev%d at t=%g, after its failure at t=%g",
+			spec.ID, d.id, e.now, d.deadAt)
+	}
 	stagingEnd := e.now
 	var sink evictSink
 	var stagedBytes int64
@@ -417,6 +514,9 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 		}
 		start := math.Max(d.h2dFree, math.Max(avail, e.now))
 		dur := d.spec.H2DTime(bytes)
+		if e.armed {
+			dur *= d.slowFactor(start)
+		}
 		d.h2dFree = start + dur
 		d.h2dBusy += dur
 		d.stats.BytesH2D += bytes
@@ -442,6 +542,9 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 		stage(spec.Output.Data, spec.Output.Bytes, spec.Output.Prec, true)
 	}
 	e.drainWritebacks(d, &sink)
+	if e.inRecovery {
+		e.stats.RecoveryBytes += stagedBytes
+	}
 	if e.Audit {
 		e.auditResidency(d, spec.ID)
 	}
@@ -481,6 +584,7 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 		}
 		e.schedule = append(e.schedule, ScheduledTask{
 			ID: spec.ID, Kind: spec.Kind, Device: spec.Device, Prec: spec.Prec, Start: start, End: end,
+			Recovery: e.inRecovery,
 		})
 	}
 	e.hTaskSec.Observe(end - start)
@@ -491,19 +595,29 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 	e.digest.WriteInt64(stagedBytes)
 
 	var result chan struct{}
-	if body := spec.Body; body != nil {
-		if e.workers == nil {
-			e.workers = newWorkerPool(gort.GOMAXPROCS(0))
+	if body := spec.Body; body != nil && !e.inRecovery {
+		if ch, orphaned := e.orphan[spec.ID]; e.armed && orphaned {
+			// The body already ran on a device that has since failed
+			// (bodies execute eagerly at commit). Re-execution of a
+			// deterministic kernel recomputes the same bits, so only the
+			// virtual cost repeats — join the original result instead of
+			// running the body a second time.
+			result = ch
+			delete(e.orphan, spec.ID)
+		} else {
+			if e.workers == nil {
+				e.workers = newWorkerPool(gort.GOMAXPROCS(0))
+			}
+			result = make(chan struct{})
+			done := result
+			e.workers.submit(func() {
+				body()
+				close(done)
+			})
 		}
-		result = make(chan struct{})
-		done := result
-		e.workers.submit(func() {
-			body()
-			close(done)
-		})
 	}
 	e.seq++
-	e.pushEvent(event{at: end, seq: e.seq, spec: spec, result: result})
+	e.pushEvent(event{at: end, seq: e.seq, spec: spec, result: result, start: start, replay: e.inRecovery})
 	e.inflight++
 }
 
@@ -517,6 +631,9 @@ func (e *Engine) drainWritebacks(d *device, sink *evictSink) {
 	for _, wb := range sink.writebacks {
 		start := math.Max(d.d2hFree, e.now)
 		dur := d.spec.D2HTime(wb.bytes)
+		if e.armed {
+			dur *= d.slowFactor(start)
+		}
 		d.d2hFree = start + dur
 		d.d2hBusy += dur
 		d.stats.BytesD2H += wb.bytes
@@ -527,6 +644,11 @@ func (e *Engine) drainWritebacks(d *device, sink *evictSink) {
 			d.d2hIntervals = append(d.d2hIntervals, Interval{Start: start, End: start + dur, Power: d.spec.TransferW, Bytes: wb.bytes})
 		}
 		e.setHostAvail(d.rank, wb.data, start+dur)
+		if e.armed {
+			// The writeback restored a current host copy; the datum no
+			// longer needs lineage re-execution if this device dies.
+			e.lineage[wb.data] = e.lineage[wb.data][:0]
+		}
 	}
 	sink.writebacks = sink.writebacks[:0]
 }
@@ -555,8 +677,27 @@ func (e *Engine) complete(ev *event) {
 		d.unpin(spec.Output.Data)
 	}
 
+	if ev.replay {
+		// A lineage replay only reconstructs device state: it releases no
+		// successors, publishes nothing and counts toward the recovery
+		// stats, not the run's task total.
+		e.inflight--
+		d.committed--
+		e.stats.ReplayedTasks++
+		e.specFree = append(e.specFree, spec)
+		e.tryCommit(d)
+		return
+	}
+
 	if p := spec.Publish; p != nil {
 		e.publish(d, spec, p)
+		if e.armed && spec.Output.Data >= 0 {
+			e.lineage[spec.Output.Data] = e.lineage[spec.Output.Data][:0]
+		}
+	} else if e.armed && spec.Output.Data >= 0 {
+		// The output stays dirty on this device: remember its writer so a
+		// device failure can re-derive the tile from the last host copy.
+		e.lineage[spec.Output.Data] = append(e.lineage[spec.Output.Data], spec.ID)
 	}
 
 	e.done++
@@ -615,6 +756,9 @@ func (e *Engine) publish(d *device, spec *TaskSpec, p *PublishSpec) {
 	// D2H of the wire representation.
 	start := math.Max(d.d2hFree, t)
 	dur := d.spec.D2HTime(p.WireBytes)
+	if e.armed {
+		dur *= d.slowFactor(start)
+	}
 	d.d2hFree = start + dur
 	d.d2hBusy += dur
 	hostAt := start + dur
@@ -653,8 +797,14 @@ func (e *Engine) publish(d *device, spec *TaskSpec, p *PublishSpec) {
 func (e *Engine) finalizeStats() {
 	var makespan float64
 	for _, d := range e.devices {
-		if d.computeFree > makespan {
-			makespan = d.computeFree
+		cf := d.computeFree
+		if d.deadAt >= 0 && cf > d.deadAt {
+			// Work the dead device had accepted past its failure was
+			// aborted and re-ran elsewhere; only survivors bound the run.
+			cf = d.deadAt
+		}
+		if cf > makespan {
+			makespan = cf
 		}
 	}
 	e.stats.Makespan = makespan
@@ -663,7 +813,7 @@ func (e *Engine) finalizeStats() {
 	}
 	var energy float64
 	for _, d := range e.devices {
-		energy += d.stats.DynEnergy + d.spec.IdleW*makespan
+		energy += d.stats.DynEnergy + d.spec.IdleW*d.idleSpan(makespan)
 		e.stats.BytesH2D += d.stats.BytesH2D
 		e.stats.BytesD2H += d.stats.BytesD2H
 		e.stats.Devices = append(e.stats.Devices, d.stats)
@@ -713,6 +863,13 @@ func (e *Engine) publishMetrics(makespan float64) {
 	m.Counter("engine/lru/misses").Add(misses)
 	m.Counter("engine/lru/evictions").Add(int64(evictions))
 	m.Counter("engine/lru/writebacks").Add(int64(writebacks))
+	if e.armed {
+		m.Counter("engine/faults/device_failures").Add(int64(e.stats.DeviceFailures))
+		m.Counter("engine/faults/transient").Add(int64(e.stats.TransientFaults))
+		m.Counter("engine/recovery/retried_tasks").Add(int64(e.stats.RetriedTasks))
+		m.Counter("engine/recovery/replayed_tasks").Add(int64(e.stats.ReplayedTasks))
+		m.Counter("engine/recovery/bytes").Add(e.stats.RecoveryBytes)
+	}
 }
 
 // DeviceTrace returns device i's traced compute-stream intervals (kernels

@@ -1,0 +1,323 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file defines the deterministic fault-injection layer. Faults are
+// declared up front (by a FaultInjector) and delivered through the engine's
+// own discrete-event clock, so a chaos run is exactly as reproducible as a
+// fault-free one: the same plan on the same graph yields a bit-identical
+// schedule digest, and in numeric mode a bit-identical factor — recovery
+// re-executes *virtual* cost only, every numeric body still runs exactly
+// once (see commit's orphan-body reuse).
+//
+// Three fault classes are modeled:
+//
+//   - kill: a device fails permanently at virtual time At. The engine
+//     aborts its in-flight tasks, re-enqueues them (and its queued ready
+//     tasks) onto same-rank survivors, reconstructs lost device-resident
+//     tiles — from host copies when current, otherwise by lineage-based
+//     re-execution of the writers since the last host sync — and completes
+//     the run on the survivors with the extra time/energy honestly
+//     accounted.
+//   - flaky: a transient kernel fault at virtual time At on a device: the
+//     most recently committed in-flight task fails and is retried in place
+//     after Backoff seconds of idle time plus a full re-execution.
+//   - slow: host-link transfers starting within [From, To) on a device take
+//     Factor times longer (a degraded or timing-out PCIe/NVLink lane).
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind int
+
+const (
+	// FaultKill permanently removes Device at virtual time At.
+	FaultKill FaultKind = iota
+	// FaultTransient fails the most recently committed task on Device at
+	// virtual time At; it is retried after Backoff seconds.
+	FaultTransient
+	// FaultSlow multiplies the duration of host-link transfers starting in
+	// [From, To) on Device by Factor.
+	FaultSlow
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultKill:
+		return "kill"
+	case FaultTransient:
+		return "flaky"
+	case FaultSlow:
+		return "slow"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultEvent is one planned fault.
+type FaultEvent struct {
+	Kind   FaultKind
+	Device int     // global device index
+	At     float64 // virtual time of a kill/flaky fault
+	// Backoff is the idle delay before a transient fault's retry.
+	Backoff float64
+	// From/To/Factor describe a slow window (FaultSlow only).
+	From, To float64
+	Factor   float64
+}
+
+// FaultInjector supplies the fault plan for one run. Implementations must
+// be deterministic: the same injector state and device count always yield
+// the same plan — that is what makes every chaos run bit-reproducible.
+type FaultInjector interface {
+	Plan(numDevices int) []FaultEvent
+}
+
+// FaultPlan is a fixed list of fault events implementing FaultInjector.
+// An empty (or nil) plan is a *silent* injector: the engine stays unarmed
+// and behaves bit-identically to a run with no injector at all.
+type FaultPlan []FaultEvent
+
+// Plan implements FaultInjector.
+func (p FaultPlan) Plan(int) []FaultEvent { return p }
+
+// Validate checks every event for well-formedness: device indices within
+// [0, numDevices) (skipped when numDevices <= 0, for use before a platform
+// exists), finite non-negative times, slow factors >= 1 and From <= To.
+func (p FaultPlan) Validate(numDevices int) error {
+	bad := func(i int, format string, args ...any) error {
+		return fmt.Errorf("runtime: fault %d (%s): %s", i, p[i].Kind, fmt.Sprintf(format, args...))
+	}
+	finite := func(vs ...float64) bool {
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	for i, f := range p {
+		if f.Kind < FaultKill || f.Kind > FaultSlow {
+			return fmt.Errorf("runtime: fault %d: unknown kind %d", i, int(f.Kind))
+		}
+		if numDevices > 0 && (f.Device < 0 || f.Device >= numDevices) {
+			return bad(i, "device %d out of range [0,%d)", f.Device, numDevices)
+		}
+		if f.Device < 0 {
+			return bad(i, "negative device %d", f.Device)
+		}
+		if !finite(f.At, f.Backoff, f.From, f.To, f.Factor) {
+			return bad(i, "non-finite parameter")
+		}
+		switch f.Kind {
+		case FaultKill, FaultTransient:
+			if f.At < 0 {
+				return bad(i, "negative time %g", f.At)
+			}
+			if f.Backoff < 0 {
+				return bad(i, "negative backoff %g", f.Backoff)
+			}
+		case FaultSlow:
+			if f.From < 0 || f.To < f.From {
+				return bad(i, "bad window [%g,%g)", f.From, f.To)
+			}
+			if f.Factor < 1 {
+				return bad(i, "factor %g < 1", f.Factor)
+			}
+		}
+	}
+	return nil
+}
+
+// ParseFaultSpec parses the textual fault-plan grammar used by the CLI
+// tools' -faults flag: semicolon-separated events, each `kind:key=val,...`.
+//
+//	kill:dev=1,at=0.5               device 1 dies at t=0.5s
+//	flaky:dev=0,at=0.2,backoff=1e-3 transient kernel fault, 1ms retry delay
+//	slow:dev=2,from=0.1,to=0.3,x=8  8x slower host link in [0.1,0.3)
+//	rand:seed=7,kills=1,flaky=2,horizon=1.0
+//	                                seeded random plan over [0,horizon)
+//
+// numDevices bounds device indices (and is required for rand:, which draws
+// devices from it); pass 0 to skip range checking. The returned plan is
+// already validated. Malformed specs return an error, never panic.
+func ParseFaultSpec(spec string, numDevices int) (FaultPlan, error) {
+	var plan FaultPlan
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("runtime: fault spec %q: want kind:key=val,...", part)
+		}
+		kv, err := parseKV(rest)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: fault spec %q: %w", part, err)
+		}
+		switch kind {
+		case "kill":
+			f := FaultEvent{Kind: FaultKill}
+			if err := kv.fill(map[string]*float64{"at": &f.At}, map[string]*int{"dev": &f.Device}, "dev", "at"); err != nil {
+				return nil, fmt.Errorf("runtime: fault spec %q: %w", part, err)
+			}
+			plan = append(plan, f)
+		case "flaky":
+			f := FaultEvent{Kind: FaultTransient}
+			if err := kv.fill(map[string]*float64{"at": &f.At, "backoff": &f.Backoff}, map[string]*int{"dev": &f.Device}, "dev", "at"); err != nil {
+				return nil, fmt.Errorf("runtime: fault spec %q: %w", part, err)
+			}
+			plan = append(plan, f)
+		case "slow":
+			f := FaultEvent{Kind: FaultSlow, Factor: 1}
+			if err := kv.fill(map[string]*float64{"from": &f.From, "to": &f.To, "x": &f.Factor}, map[string]*int{"dev": &f.Device}, "dev", "from", "to", "x"); err != nil {
+				return nil, fmt.Errorf("runtime: fault spec %q: %w", part, err)
+			}
+			plan = append(plan, f)
+		case "rand":
+			var seed, kills, flaky, slow int
+			var horizon float64
+			if err := kv.fill(map[string]*float64{"horizon": &horizon},
+				map[string]*int{"seed": &seed, "kills": &kills, "flaky": &flaky, "slow": &slow},
+				"seed", "horizon"); err != nil {
+				return nil, fmt.Errorf("runtime: fault spec %q: %w", part, err)
+			}
+			if numDevices <= 0 {
+				return nil, fmt.Errorf("runtime: fault spec %q: rand needs a known device count", part)
+			}
+			if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+				return nil, fmt.Errorf("runtime: fault spec %q: horizon must be positive and finite", part)
+			}
+			if kills < 0 || flaky < 0 || slow < 0 || kills+flaky+slow > 1024 {
+				return nil, fmt.Errorf("runtime: fault spec %q: bad event counts", part)
+			}
+			plan = append(plan, RandomPlan(int64(seed), numDevices, horizon, kills, flaky, slow)...)
+		default:
+			return nil, fmt.Errorf("runtime: fault spec %q: unknown kind %q", part, kind)
+		}
+	}
+	if err := plan.Validate(numDevices); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// RandomPlan draws a reproducible fault plan from a seed: `kills` device
+// failures and `flaky` transient faults at uniform times in (0, horizon),
+// and `slow` transfer-slowdown windows within it. The generator is a
+// hand-rolled splitmix64, so plans are stable across Go releases.
+func RandomPlan(seed int64, numDevices int, horizon float64, kills, flaky, slow int) FaultPlan {
+	rng := splitmix{uint64(seed)}
+	if numDevices < 1 {
+		numDevices = 1
+	}
+	var plan FaultPlan
+	for i := 0; i < kills; i++ {
+		plan = append(plan, FaultEvent{
+			Kind:   FaultKill,
+			Device: int(rng.next() % uint64(numDevices)),
+			At:     rng.float() * horizon,
+		})
+	}
+	for i := 0; i < flaky; i++ {
+		plan = append(plan, FaultEvent{
+			Kind:    FaultTransient,
+			Device:  int(rng.next() % uint64(numDevices)),
+			At:      rng.float() * horizon,
+			Backoff: rng.float() * horizon / 100,
+		})
+	}
+	for i := 0; i < slow; i++ {
+		from := rng.float() * horizon
+		plan = append(plan, FaultEvent{
+			Kind:   FaultSlow,
+			Device: int(rng.next() % uint64(numDevices)),
+			From:   from,
+			To:     from + rng.float()*horizon/4,
+			Factor: 1 + rng.float()*7,
+		})
+	}
+	return plan
+}
+
+// splitmix is splitmix64 (Steele, Lea, Flood 2014): a tiny, fast,
+// well-distributed PRNG whose output is fixed by construction, unlike
+// math/rand's unspecified-across-releases sources.
+type splitmix struct{ x uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (s *splitmix) float() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// kvPairs is a parsed key=value list.
+type kvPairs map[string]float64
+
+func parseKV(s string) (kvPairs, error) {
+	kv := make(kvPairs)
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("field %q: want key=value", field)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %v", field, err)
+		}
+		key = strings.TrimSpace(key)
+		if _, dup := kv[key]; dup {
+			return nil, fmt.Errorf("field %q: duplicate key", field)
+		}
+		kv[key] = v
+	}
+	return kv, nil
+}
+
+// fill assigns the parsed values into the typed destinations, rejecting
+// unknown keys, non-integral values for int destinations, and missing
+// required keys.
+func (kv kvPairs) fill(floats map[string]*float64, ints map[string]*int, required ...string) error {
+	for key, v := range kv {
+		if dst, ok := floats[key]; ok {
+			*dst = v
+			continue
+		}
+		if dst, ok := ints[key]; ok {
+			if v != math.Trunc(v) || math.Abs(v) > 1<<31 {
+				return fmt.Errorf("key %q: %g is not a small integer", key, v)
+			}
+			*dst = int(v)
+			continue
+		}
+		return fmt.Errorf("unknown key %q", key)
+	}
+	for _, req := range required {
+		if _, ok := kv[req]; !ok {
+			return fmt.Errorf("missing required key %q", req)
+		}
+	}
+	return nil
+}
+
+// LineageGraph is an optional Graph capability used by the auditor during
+// recovery: Writers appends the ids of every task that writes datum d, in
+// execution order, so the engine can cross-check its observed lineage (the
+// writers since the last host sync) is consistent with the graph's declared
+// dataflow before re-executing a chain.
+type LineageGraph interface {
+	Writers(d DataID, buf []int) []int
+}

@@ -1,0 +1,364 @@
+package runtime
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+)
+
+func TestParseFaultSpec(t *testing.T) {
+	good := []string{
+		"kill:dev=1,at=0.5",
+		"flaky:dev=0,at=0.2,backoff=1e-3",
+		"slow:dev=2,from=0.1,to=0.3,x=8",
+		"kill:dev=0,at=0; flaky:dev=1,at=0.1;",
+		"rand:seed=7,kills=1,flaky=2,horizon=1.0",
+		" kill:dev=1 , at=0.25 ",
+		"",
+	}
+	for _, spec := range good {
+		if _, err := ParseFaultSpec(spec, 3); err != nil {
+			t.Errorf("ParseFaultSpec(%q) = %v, want nil", spec, err)
+		}
+	}
+	bad := []string{
+		"kill",                        // no params
+		"kill:dev=9,at=0.5",           // device out of range
+		"kill:dev=-1,at=0.5",          // negative device
+		"kill:dev=0",                  // missing at
+		"kill:dev=0,at=-1",            // negative time
+		"kill:dev=0.5,at=1",           // fractional device
+		"kill:dev=0,at=NaN",           // non-finite
+		"explode:dev=0,at=1",          // unknown kind
+		"kill:dev=0,at=1,boom=2",      // unknown key
+		"kill:dev=0,dev=1,at=1",       // duplicate key
+		"slow:dev=0,from=2,to=1,x=4",  // inverted window
+		"slow:dev=0,from=0,to=1,x=.5", // factor < 1
+		"flaky:dev=0,at=1,backoff=-1", // negative backoff
+		"rand:seed=1,horizon=0",       // empty horizon
+		"rand:kills=1,horizon=1",      // missing seed
+		"kill:at",                     // malformed kv
+	}
+	for _, spec := range bad {
+		if _, err := ParseFaultSpec(spec, 3); err == nil {
+			t.Errorf("ParseFaultSpec(%q) succeeded, want error", spec)
+		}
+	}
+	// rand without a device count must fail rather than guess.
+	if _, err := ParseFaultSpec("rand:seed=1,kills=1,horizon=1", 0); err == nil {
+		t.Error("rand spec with unknown device count succeeded")
+	}
+	// numDevices=0 skips only the range check.
+	if _, err := ParseFaultSpec("kill:dev=99,at=1", 0); err != nil {
+		t.Errorf("unbounded parse rejected in-grammar spec: %v", err)
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := RandomPlan(42, 6, 1.0, 2, 3, 1)
+	b := RandomPlan(42, 6, 1.0, 2, 3, 1)
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("plan lengths %d/%d, want 6", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across identically seeded plans: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if err := FaultPlan(a).Validate(6); err != nil {
+		t.Fatalf("random plan invalid: %v", err)
+	}
+	c := RandomPlan(43, 6, 1.0, 2, 3, 1)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+// chainGraph builds an n-task accumulation chain on one device: every task
+// reads tile 1 and writes tile 2, so the output stays dirty on the device
+// (no publish) and accrues lineage.
+func chainGraph(n, dev int) *testGraph {
+	g := newTestGraph(n)
+	g.initial[1] = 0
+	g.initial[2] = 0
+	for i := 0; i < n; i++ {
+		g.specs[i] = TaskSpec{
+			Kind: hw.KindGemm, Device: dev, Prec: prec.FP64, Flops: 1e9,
+			Inputs: []InputSpec{{Data: 1, WireBytes: 1 << 20}},
+			Output: OutputSpec{Data: 2, Bytes: 1 << 20},
+		}
+		if i > 0 {
+			g.edge(i-1, i)
+		}
+	}
+	return g
+}
+
+func twoDevPlat(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(hw.SummitNode, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSilentInjectorIsFree is the engine-level golden no-op: a wired-in but
+// empty injector must leave digest, makespan and energy bit-identical to no
+// injector at all.
+func TestSilentInjectorIsFree(t *testing.T) {
+	run := func(fi FaultInjector) Stats {
+		eng := New(twoDevPlat(t), chainGraph(8, 1))
+		eng.Audit = true
+		eng.Inject(fi)
+		st, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	base := run(nil)
+	for name, fi := range map[string]FaultInjector{
+		"nil-plan":   FaultPlan(nil),
+		"empty-plan": FaultPlan{},
+	} {
+		st := run(fi)
+		if st.ScheduleDigest != base.ScheduleDigest {
+			t.Errorf("%s: digest %#x != baseline %#x", name, st.ScheduleDigest, base.ScheduleDigest)
+		}
+		if st.Makespan != base.Makespan || st.Energy != base.Energy {
+			t.Errorf("%s: makespan/energy differ from baseline", name)
+		}
+	}
+}
+
+// TestDeviceKillRecovery kills the only busy device mid-run: the chain must
+// complete on the survivor, with every numeric body run exactly once, under
+// a clean audit.
+func TestDeviceKillRecovery(t *testing.T) {
+	const n = 8
+	var ran [n]int32
+	build := func() *testGraph {
+		g := chainGraph(n, 1)
+		for i := 0; i < n; i++ {
+			i := i
+			g.specs[i].Body = func() { atomic.AddInt32(&ran[i], 1) }
+		}
+		return g
+	}
+	eng := New(twoDevPlat(t), build())
+	eng.Audit = true
+	base, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		ran[i] = 0
+	}
+
+	killAt := base.Makespan / 2
+	eng = New(twoDevPlat(t), build())
+	eng.Audit = true
+	eng.Inject(FaultPlan{{Kind: FaultKill, Device: 1, At: killAt}})
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatalf("chaos run failed: %v (violations: %v)", err, eng.AuditViolations())
+	}
+	if st.Tasks != n {
+		t.Errorf("completed %d of %d tasks", st.Tasks, n)
+	}
+	if st.DeviceFailures != 1 {
+		t.Errorf("DeviceFailures = %d, want 1", st.DeviceFailures)
+	}
+	if st.ReplayedTasks == 0 {
+		t.Error("expected lineage replays for the lost dirty tile, got none")
+	}
+	if st.Makespan <= base.Makespan {
+		t.Errorf("chaos makespan %g not above fault-free %g (recovery is not free)", st.Makespan, base.Makespan)
+	}
+	for i, c := range ran {
+		if c != 1 {
+			t.Errorf("task %d body ran %d times, want exactly once", i, c)
+		}
+	}
+	// Post-recovery work must land on the survivor only.
+	for _, task := range eng.ScheduleTrace() {
+		if task.Device == 1 && task.Start > killAt && !task.Recovery {
+			// Pre-death commits can extend past killAt; fresh commits cannot
+			// start there. The auditor flags commits to a dead device; this
+			// is a belt-and-braces check on the visible schedule.
+			t.Errorf("task %d scheduled on dead device at t=%g (death at %g)", task.ID, task.Start, killAt)
+		}
+	}
+}
+
+// TestKillDeterminism: the same plan yields bit-identical digests, and a
+// different kill time yields a different digest.
+func TestKillDeterminism(t *testing.T) {
+	run := func(at float64) Stats {
+		eng := New(twoDevPlat(t), chainGraph(8, 1))
+		eng.Audit = true
+		eng.Inject(FaultPlan{{Kind: FaultKill, Device: 1, At: at}})
+		st, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(1e-3), run(1e-3)
+	if a.ScheduleDigest != b.ScheduleDigest {
+		t.Errorf("same plan, different digests: %#x vs %#x", a.ScheduleDigest, b.ScheduleDigest)
+	}
+	if c := run(2e-3); c.ScheduleDigest == a.ScheduleDigest {
+		t.Error("different kill times produced identical digests")
+	}
+}
+
+func TestKillLastDeviceOfRankFails(t *testing.T) {
+	eng := New(onePlat(t), chainGraph(4, 0))
+	eng.Inject(FaultPlan{{Kind: FaultKill, Device: 0, At: 1e-6}})
+	if _, err := eng.Run(); err == nil || !strings.Contains(err.Error(), "unrecoverable") {
+		t.Errorf("killing a rank's only device: err = %v, want unrecoverable", err)
+	}
+}
+
+func TestDoubleKillIgnored(t *testing.T) {
+	eng := New(twoDevPlat(t), chainGraph(6, 1))
+	eng.Audit = true
+	eng.Inject(FaultPlan{
+		{Kind: FaultKill, Device: 1, At: 1e-4},
+		{Kind: FaultKill, Device: 1, At: 2e-4},
+	})
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeviceFailures != 1 {
+		t.Errorf("DeviceFailures = %d, want 1 (second kill of a dead device is a no-op)", st.DeviceFailures)
+	}
+}
+
+// TestTransientFaultRetry checks the retry arithmetic on a single task: the
+// makespan grows by exactly backoff + one re-execution.
+func TestTransientFaultRetry(t *testing.T) {
+	g := newTestGraph(1)
+	g.initial[1] = 0
+	g.specs[0] = TaskSpec{
+		Kind: hw.KindGemm, Device: 0, Prec: prec.FP64, Flops: 2e9,
+		Inputs: []InputSpec{{Data: 1, WireBytes: 8 << 20}},
+		Output: OutputSpec{Data: 1, Bytes: 8 << 20},
+	}
+	xfer := hw.V100.H2DTime(8 << 20)
+	kernel := hw.V100.KernelTime(hw.KindGemm, prec.FP64, 2e9)
+	const backoff = 1e-4
+	eng := New(onePlat(t), g)
+	eng.Audit = true
+	eng.Inject(FaultPlan{{Kind: FaultTransient, Device: 0, At: xfer + kernel/2, Backoff: backoff}})
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := xfer + 2*kernel + backoff
+	if math.Abs(st.Makespan-want) > 1e-12 {
+		t.Errorf("retried makespan %g, want %g", st.Makespan, want)
+	}
+	if st.TransientFaults != 1 || st.RetriedTasks != 1 {
+		t.Errorf("fault counters %d/%d, want 1/1", st.TransientFaults, st.RetriedTasks)
+	}
+}
+
+// TestTransientFaultOnIdleDevice: a blip with nothing in flight is counted
+// but retries nothing.
+func TestTransientFaultOnIdleDevice(t *testing.T) {
+	eng := New(twoDevPlat(t), chainGraph(2, 0))
+	eng.Audit = true
+	eng.Inject(FaultPlan{{Kind: FaultTransient, Device: 1, At: 1e-5}})
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TransientFaults != 1 || st.RetriedTasks != 0 {
+		t.Errorf("counters %d/%d, want 1/0", st.TransientFaults, st.RetriedTasks)
+	}
+}
+
+// TestSlowWindow doubles the H2D time of a transfer falling inside the
+// window and leaves one outside it untouched.
+func TestSlowWindow(t *testing.T) {
+	g := newTestGraph(1)
+	g.initial[1] = 0
+	g.specs[0] = TaskSpec{
+		Kind: hw.KindGemm, Device: 0, Prec: prec.FP64, Flops: 1e9,
+		Inputs: []InputSpec{{Data: 1, WireBytes: 8 << 20}},
+		Output: OutputSpec{Data: 1, Bytes: 8 << 20},
+	}
+	xfer := hw.V100.H2DTime(8 << 20)
+	kernel := hw.V100.KernelTime(hw.KindGemm, prec.FP64, 1e9)
+
+	eng := New(onePlat(t), g)
+	eng.Audit = true
+	eng.Inject(FaultPlan{{Kind: FaultSlow, Device: 0, From: 0, To: xfer, Factor: 2}})
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*xfer + kernel; math.Abs(st.Makespan-want) > 1e-12 {
+		t.Errorf("slowed makespan %g, want %g", st.Makespan, want)
+	}
+
+	// Window strictly after the transfer start: no effect.
+	eng = New(onePlat(t), g)
+	eng.Audit = true
+	eng.Inject(FaultPlan{{Kind: FaultSlow, Device: 0, From: xfer + kernel, To: xfer + kernel + 1, Factor: 8}})
+	st, err = eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := xfer + kernel; math.Abs(st.Makespan-want) > 1e-12 {
+		t.Errorf("out-of-window makespan %g, want %g", st.Makespan, want)
+	}
+}
+
+// TestBadPlanRejectedAtRun: an injector with an out-of-range device fails
+// the run up front rather than mid-flight.
+func TestBadPlanRejectedAtRun(t *testing.T) {
+	eng := New(onePlat(t), chainGraph(2, 0))
+	eng.Inject(FaultPlan{{Kind: FaultKill, Device: 7, At: 0.1}})
+	if _, err := eng.Run(); err == nil {
+		t.Error("out-of-range fault device did not fail the run")
+	}
+}
+
+// FuzzFaultSpec feeds arbitrary strings to the -faults parser: it must
+// reject malformed specs with an error, never panic, and any plan it
+// accepts must validate (and round-trip through an audited engine run
+// without tripping the plan check).
+func FuzzFaultSpec(f *testing.F) {
+	f.Add("kill:dev=1,at=0.5")
+	f.Add("flaky:dev=0,at=0.2,backoff=1e-3")
+	f.Add("slow:dev=2,from=0.1,to=0.3,x=8")
+	f.Add("rand:seed=7,kills=1,flaky=2,slow=1,horizon=1.0")
+	f.Add("kill:dev=1,at=0.5;;flaky:dev=0,at=9")
+	f.Add(";;;")
+	f.Add("kill:dev==1,at=0.5")
+	f.Add("kill:dev=1,at=1e309")
+	f.Fuzz(func(t *testing.T, spec string) {
+		plan, err := ParseFaultSpec(spec, 4)
+		if err != nil {
+			return
+		}
+		if verr := plan.Validate(4); verr != nil {
+			t.Fatalf("accepted plan fails validation: %v (spec %q)", verr, spec)
+		}
+	})
+}

@@ -74,6 +74,12 @@ type device struct {
 	// LRU churn on the scale path otherwise allocates one entry per miss.
 	entryFree []*residentEntry
 
+	// Fault state (armed runs only). deadAt is the virtual time this device
+	// failed, -1 while alive; slows lists injected host-link degradation
+	// windows.
+	deadAt float64
+	slows  []slowWindow
+
 	stats DeviceStats
 
 	// per-stream busy totals (always tracked; feed the stream-idle metrics).
@@ -122,11 +128,38 @@ type Interval struct {
 	Bytes      int64   // bytes moved, for transfer streams (0 for compute)
 }
 
+// slowWindow is an injected host-link degradation: transfers starting in
+// [from, to) take factor times longer.
+type slowWindow struct {
+	from, to, factor float64
+}
+
+// slowFactor returns the transfer-duration multiplier in effect for a
+// transfer starting at the given virtual time.
+func (d *device) slowFactor(start float64) float64 {
+	for _, w := range d.slows {
+		if start >= w.from && start < w.to {
+			return w.factor
+		}
+	}
+	return 1
+}
+
+// idleSpan is how long this device draws idle power during a run of the
+// given makespan: a failed device stops drawing power when it dies.
+func (d *device) idleSpan(makespan float64) float64 {
+	if d.deadAt >= 0 && d.deadAt < makespan {
+		return d.deadAt
+	}
+	return makespan
+}
+
 func newDevice(id, rank int, spec *hw.GPUSpec, trace bool, dataBound int) *device {
 	d := &device{
 		id: id, rank: rank, spec: spec,
-		ready: &taskHeap{},
-		trace: trace,
+		ready:  &taskHeap{},
+		trace:  trace,
+		deadAt: -1,
 	}
 	if dataBound > 0 {
 		d.residentArr = make([]*residentEntry, dataBound)
