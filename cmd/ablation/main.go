@@ -13,6 +13,7 @@
 //	ablation -lookahead
 //	ablation -probe [-probe-n 400]
 //	ablation -chaos [-chaos-gpus 3]     # MP vs FP64 resilience overhead
+//	ablation -sched [-sched-ranks 4]    # scheduling policies + broadcast topologies
 package main
 
 import (
@@ -41,17 +42,19 @@ func run(args []string, out io.Writer) error {
 	probe := fs.Bool("probe", false, "Monte-Carlo arithmetic u_req probe")
 	tlrFlag := fs.Bool("tlr", false, "tile low-rank + mixed precision storage study (§VIII future work)")
 	chaos := fs.Bool("chaos", false, "resilience overhead of each precision configuration under an identical fault plan")
-	n := fs.Int("n", 65536, "matrix size for -banded/-lookahead/-chaos")
+	schedFlag := fs.Bool("sched", false, "scheduling-policy and broadcast-topology sweep on the Fig 11 workload")
+	n := fs.Int("n", 65536, "matrix size for -banded/-lookahead/-chaos/-sched")
 	probeN := fs.Int("probe-n", 400, "locations for -probe")
 	ts := fs.Int("ts", 2048, "tile size")
 	chaosGPUs := fs.Int("chaos-gpus", 3, "GPUs for -chaos (>=2: the plan kills one)")
 	chaosFaults := fs.String("chaos-faults", "", "fault plan for -chaos (default: derived kill+flaky+slow, scaled per config)")
+	schedRanks := fs.Int("sched-ranks", 4, "ranks for the -sched broadcast-topology sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if !*banded && !*lookahead && !*probe && !*tlrFlag && !*chaos {
-		*banded, *lookahead, *probe, *tlrFlag, *chaos = true, true, true, true, true
+	if !*banded && !*lookahead && !*probe && !*tlrFlag && !*chaos && !*schedFlag {
+		*banded, *lookahead, *probe, *tlrFlag, *chaos, *schedFlag = true, true, true, true, true, true
 	}
 
 	if *banded {
@@ -113,6 +116,33 @@ func run(args []string, out io.Writer) error {
 				r.DeviceFailures, r.ReplayedTasks, r.RetriedTasks)
 		}
 		t.Write(out)
+	}
+
+	if *schedFlag {
+		rows, err := bench.SchedAblation(hw.SummitNode, 1, 0, []int{*n}, *ts)
+		if err != nil {
+			return err
+		}
+		t := bench.NewTable(
+			fmt.Sprintf("scheduling policy (FP64/FP16_32 Auto, N=%d, full Summit node)", *n),
+			"policy", "time(s)", "Tflop/s", "energy(J)", "H2D", "net")
+		for _, r := range rows {
+			t.Add(r.Policy, r.Time, r.Tflops, r.Energy,
+				bench.HumanBytes(r.BytesH2D), bench.HumanBytes(r.BytesNet))
+		}
+		t.Write(out)
+
+		brows, err := bench.BcastAblation(hw.SummitNode, *schedRanks, []int{*n}, *ts)
+		if err != nil {
+			return err
+		}
+		bt := bench.NewTable(
+			fmt.Sprintf("broadcast topology (FP64/FP16_32 Auto, N=%d, %d ranks)", *n, *schedRanks),
+			"topology", "time(s)", "energy(J)", "net")
+		for _, r := range brows {
+			bt.Add(r.Topology, r.Time, r.Energy, bench.HumanBytes(r.BytesNet))
+		}
+		bt.Write(out)
 	}
 
 	if *probe {

@@ -29,6 +29,25 @@ func TestRunLookaheadSmoke(t *testing.T) {
 	}
 }
 
+func TestRunSchedSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sched", "-n", "16384", "-sched-ranks", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"scheduling policy (FP64/FP16_32 Auto, N=16384, full Summit node)",
+		"policy    time(s)  Tflop/s  energy(J)  H2D",
+		"broadcast topology (FP64/FP16_32 Auto, N=16384, 3 ranks)",
+		"topology  time(s)  energy(J)  net",
+		"fifo", "locality", "cp", "binomial", "flat", "chain",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunChaosSingleGPU(t *testing.T) {
 	if err := run([]string{"-chaos", "-chaos-gpus", "1"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("single-GPU chaos must fail (no failover target)")

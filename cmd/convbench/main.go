@@ -40,6 +40,8 @@ func run(args []string, out io.Writer) error {
 	sizesFlag := fs.String("sizes", "", "comma-separated matrix sizes (default: per-machine sweep)")
 	ts := fs.Int("ts", 2048, "tile size")
 	faults := fs.String("faults", "", "fault plan injected into every run (see runtime.ParseFaultSpec)")
+	schedFlag := fs.String("sched", "", "scheduling policy: fifo (default), locality, cp")
+	bcast := fs.String("bcast", "", "broadcast topology: binomial (default), flat, chain")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,7 +72,8 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	rows, err := bench.ConvSweepFaults(nd, 1, g, sizes, *ts, *faults)
+	rows, err := bench.ConvSweepOpts(nd, 1, g, sizes, *ts, *faults,
+		bench.SchedOpts{Policy: *schedFlag, Bcast: *bcast})
 	if err != nil {
 		return err
 	}

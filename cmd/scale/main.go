@@ -55,9 +55,12 @@ func run(args []string, out io.Writer) error {
 	sizesFlag := fs.String("sizes", "196608,399360,598016,798720", "matrix sizes for -mp")
 	ts := fs.Int("ts", 2048, "tile size")
 	faults := fs.String("faults", "", "fault plan injected into every -weak/-strong run (see runtime.ParseFaultSpec)")
+	schedFlag := fs.String("sched", "", "scheduling policy for -weak/-strong: fifo (default), locality, cp")
+	bcast := fs.String("bcast", "", "broadcast topology for -weak/-strong: binomial (default), flat, chain")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	so := bench.SchedOpts{Policy: *schedFlag, Bcast: *bcast}
 
 	if !*weak && !*strong && !*mp {
 		*weak, *strong, *mp = true, true, true
@@ -69,7 +72,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *weak {
-		rows, err := bench.WeakScalingFaults(nodes, *baseN, *ts, *faults)
+		rows, err := bench.WeakScalingOpts(nodes, *baseN, *ts, *faults, so)
 		if err != nil {
 			return err
 		}
@@ -82,7 +85,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *strong {
-		rows, err := bench.StrongScalingFaults(nodes, *strongN, *ts, *faults)
+		rows, err := bench.StrongScalingOpts(nodes, *strongN, *ts, *faults, so)
 		if err != nil {
 			return err
 		}

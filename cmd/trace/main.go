@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"geompc/internal/bench"
 	"geompc/internal/cholesky"
 	"geompc/internal/hw"
 	"geompc/internal/prec"
@@ -42,7 +43,13 @@ func run(args []string, out io.Writer) error {
 	audit := fs.Bool("audit", false, "run the engine's invariant auditor; violations are fatal")
 	metrics := fs.Bool("metrics", false, "dump the run's metrics registry after the schedule")
 	faults := fs.String("faults", "", "deterministic fault plan (e.g. 'kill:dev=1,at=0.004;slow:dev=0,from=0,to=0.01,x=4')")
+	schedFlag := fs.String("sched", "", "scheduling policy: fifo (default), locality, cp")
+	bcast := fs.String("bcast", "", "broadcast topology: binomial (default), flat, chain")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pol, topo, err := bench.SchedOpts{Policy: *schedFlag, Bcast: *bcast}.Resolve()
+	if err != nil {
 		return err
 	}
 
@@ -65,6 +72,7 @@ func run(args []string, out io.Writer) error {
 	}
 	res, err := cholesky.Run(cholesky.Config{
 		Desc: d, Maps: maps, Platform: plat, Trace: true, Audit: *audit, Faults: injector,
+		Sched: pol, Bcast: topo,
 	})
 	if err != nil {
 		return err

@@ -66,6 +66,17 @@ func ConvSweep(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int) (
 // (runtime.ParseFaultSpec grammar; empty means fault-free). Reported times
 // then include the recovery overhead the plan causes.
 func ConvSweepFaults(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int, faultSpec string) ([]ConvRow, error) {
+	return ConvSweepOpts(node, ranks, gpusPerRank, sizes, ts, faultSpec, SchedOpts{})
+}
+
+// ConvSweepOpts is the fully parameterized sweep: a fault plan plus a named
+// scheduling policy and broadcast topology (zero SchedOpts = historical
+// FIFO + binomial).
+func ConvSweepOpts(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int, faultSpec string, so SchedOpts) ([]ConvRow, error) {
+	pol, topo, err := so.Resolve()
+	if err != nil {
+		return nil, err
+	}
 	plat, err := runtime.NewPlatform(node, ranks, gpusPerRank)
 	if err != nil {
 		return nil, err
@@ -96,7 +107,7 @@ func ConvSweepFaults(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts 
 				maps := precmap.New(cfg.KernelMap(desc.NT), 1e-2)
 				res, err := cholesky.Run(cholesky.Config{
 					Desc: desc, Maps: maps, Platform: plat, Strategy: strat,
-					Faults: faults,
+					Faults: faults, Sched: pol, Bcast: topo,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("bench: %s %v n=%d: %w", cfg.Name, strat, n, err)

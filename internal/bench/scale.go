@@ -48,8 +48,12 @@ func scaleConfigs(withFP32 bool) []scaleConfig {
 
 // runScale executes one phantom factorization on `nodes` Summit nodes,
 // optionally under a fault plan (runtime.ParseFaultSpec grammar; empty
-// means fault-free).
-func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64, faultSpec string) (ScaleRow, error) {
+// means fault-free) and a named scheduling policy / broadcast topology.
+func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64, faultSpec string, so SchedOpts) (ScaleRow, error) {
+	pol, topo, err := so.Resolve()
+	if err != nil {
+		return ScaleRow{}, err
+	}
 	plat, err := runtime.NewPlatform(hw.SummitNode, nodes, 0)
 	if err != nil {
 		return ScaleRow{}, err
@@ -81,7 +85,7 @@ func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64, faultSpec string) 
 	maps := precmap.New(km, ureq)
 	res, err := cholesky.Run(cholesky.Config{
 		Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto,
-		Faults: faults,
+		Faults: faults, Sched: pol, Bcast: topo,
 	})
 	if err != nil {
 		return ScaleRow{}, fmt.Errorf("bench: scale %s nodes=%d n=%d: %w", cfg.name, nodes, n, err)
@@ -105,12 +109,18 @@ func WeakScaling(nodeCounts []int, baseN, ts int) ([]ScaleRow, error) {
 // WeakScalingFaults is WeakScaling with a fault plan injected into every
 // run; reported times include the recovery overhead.
 func WeakScalingFaults(nodeCounts []int, baseN, ts int, faultSpec string) ([]ScaleRow, error) {
+	return WeakScalingOpts(nodeCounts, baseN, ts, faultSpec, SchedOpts{})
+}
+
+// WeakScalingOpts is the fully parameterized weak-scaling sweep: a fault
+// plan plus a named scheduling policy and broadcast topology.
+func WeakScalingOpts(nodeCounts []int, baseN, ts int, faultSpec string, so SchedOpts) ([]ScaleRow, error) {
 	var rows []ScaleRow
 	base := float64(nodeCounts[0])
 	for _, nodes := range nodeCounts {
 		n := int(float64(baseN) * math.Sqrt(float64(nodes)/base))
 		n = (n + ts - 1) / ts * ts
-		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1, faultSpec)
+		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1, faultSpec, so)
 		if err != nil {
 			return nil, err
 		}
@@ -128,9 +138,15 @@ func StrongScaling(nodeCounts []int, n, ts int) ([]ScaleRow, error) {
 // StrongScalingFaults is StrongScaling with a fault plan injected into
 // every run; reported times include the recovery overhead.
 func StrongScalingFaults(nodeCounts []int, n, ts int, faultSpec string) ([]ScaleRow, error) {
+	return StrongScalingOpts(nodeCounts, n, ts, faultSpec, SchedOpts{})
+}
+
+// StrongScalingOpts is the fully parameterized strong-scaling sweep: a
+// fault plan plus a named scheduling policy and broadcast topology.
+func StrongScalingOpts(nodeCounts []int, n, ts int, faultSpec string, so SchedOpts) ([]ScaleRow, error) {
 	var rows []ScaleRow
 	for _, nodes := range nodeCounts {
-		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1, faultSpec)
+		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1, faultSpec, so)
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +163,7 @@ func MPEffect(nodes int, sizes []int, ts int) ([]ScaleRow, error) {
 	fp64 := make(map[int]float64) // n -> time
 	for _, cfg := range scaleConfigs(true) {
 		for _, n := range sizes {
-			r, err := runScale(cfg, nodes, n, ts, 2, "")
+			r, err := runScale(cfg, nodes, n, ts, 2, "", SchedOpts{})
 			if err != nil {
 				return nil, err
 			}

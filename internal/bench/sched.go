@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"geompc/internal/cholesky"
+	"geompc/internal/comm"
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/sched"
+	"geompc/internal/tile"
+)
+
+// SchedOpts names a scheduling policy and broadcast topology by their CLI
+// spellings. The zero value is the engine's historical behavior
+// (FIFO + binomial).
+type SchedOpts struct {
+	Policy string // sched.ByName: "", "fifo", "locality", "cp"
+	Bcast  string // comm.TopologyByName: "", "binomial", "flat", "chain"
+}
+
+// Resolve turns the names into the policy/topology pair (erroring on
+// unknown names before any benchmark time is spent).
+func (o SchedOpts) Resolve() (sched.Policy, comm.Topology, error) {
+	pol, err := sched.ByName(o.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	topo, err := comm.TopologyByName(o.Bcast)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pol, topo, nil
+}
+
+// SchedRow is one line of the scheduler ablation: the same workload under a
+// different scheduling policy.
+type SchedRow struct {
+	Policy   string
+	N        int
+	Time     float64
+	Tflops   float64
+	Energy   float64
+	BytesH2D int64 // host-to-device staging traffic — what Locality cuts
+	BytesNet int64
+}
+
+// SchedAblation runs the Fig 11 multi-GPU workload (mixed-precision
+// FP64/FP16_32 Auto on a full node) under every built-in scheduling policy,
+// in phantom mode. The interesting column is BytesH2D: Locality re-places
+// consumers onto the device already holding their tiles, so its staging
+// traffic must come in strictly below FIFO's.
+func SchedAblation(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int) ([]SchedRow, error) {
+	plat, err := runtime.NewPlatform(node, ranks, gpusPerRank)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SchedRow
+	for _, pol := range sched.Policies() {
+		for _, n := range sizes {
+			pg, qg := tile.SquarestGrid(plat.Ranks)
+			desc, err := tile.NewDesc(n, ts, pg, qg)
+			if err != nil {
+				return nil, err
+			}
+			maps := precmap.New(precmap.Uniform(desc.NT, prec.FP16x32), 1e-2)
+			res, err := cholesky.Run(cholesky.Config{
+				Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto,
+				Sched: pol,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: sched %s n=%d: %w", pol.Name(), n, err)
+			}
+			rows = append(rows, SchedRow{
+				Policy:   pol.Name(),
+				N:        n,
+				Time:     res.Stats.Makespan,
+				Tflops:   res.Stats.Flops / 1e12,
+				Energy:   res.Stats.Energy,
+				BytesH2D: res.Stats.BytesH2D,
+				BytesNet: res.Stats.BytesNet,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// BcastRow is one line of the broadcast-topology ablation.
+type BcastRow struct {
+	Topology string
+	N        int
+	Time     float64
+	Energy   float64
+	BytesNet int64
+}
+
+// BcastAblation runs a multi-rank mixed-precision factorization under every
+// built-in broadcast topology, in phantom mode. Bytes on the wire are
+// identical by construction; what moves is when receivers get the panel —
+// the makespan column shows the cost of each shape.
+func BcastAblation(node *hw.NodeSpec, ranks int, sizes []int, ts int) ([]BcastRow, error) {
+	plat, err := runtime.NewPlatform(node, ranks, 0)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BcastRow
+	for _, topo := range comm.Topologies() {
+		for _, n := range sizes {
+			pg, qg := tile.SquarestGrid(plat.Ranks)
+			desc, err := tile.NewDesc(n, ts, pg, qg)
+			if err != nil {
+				return nil, err
+			}
+			maps := precmap.New(precmap.Uniform(desc.NT, prec.FP16x32), 1e-2)
+			res, err := cholesky.Run(cholesky.Config{
+				Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto,
+				Bcast: topo,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: bcast %s n=%d: %w", topo.Name(), n, err)
+			}
+			rows = append(rows, BcastRow{
+				Topology: topo.Name(),
+				N:        n,
+				Time:     res.Stats.Makespan,
+				Energy:   res.Stats.Energy,
+				BytesNet: res.Stats.BytesNet,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -5,9 +5,11 @@ import (
 	"io"
 	"sort"
 
+	"geompc/internal/comm"
 	"geompc/internal/obs"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
+	"geompc/internal/sched"
 	"geompc/internal/tile"
 )
 
@@ -38,6 +40,14 @@ type Config struct {
 	// with an empty plan — leaves the run bit-identical to a fault-free
 	// engine.
 	Faults runtime.FaultInjector
+	// Sched selects the engine's scheduling policy (ready-queue order,
+	// placement, failover). Nil means sched.FIFO{} — the historical
+	// schedule, bit for bit. Any policy produces the bit-identical factor;
+	// only virtual time and data motion change.
+	Sched sched.Policy
+	// Bcast selects the inter-rank broadcast topology. Nil means
+	// comm.Binomial{}, the historical arithmetic.
+	Bcast comm.Topology
 }
 
 // Result reports a completed factorization.
@@ -106,6 +116,8 @@ func Run(cfg Config) (*Result, error) {
 	eng.Trace = cfg.Trace
 	eng.Audit = cfg.Audit
 	eng.Inject(cfg.Faults)
+	eng.Policy = cfg.Sched
+	eng.Bcast = cfg.Bcast
 	if cfg.Lookahead > 0 {
 		eng.Lookahead = cfg.Lookahead
 	}

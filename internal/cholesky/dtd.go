@@ -92,6 +92,8 @@ func RunDTD(cfg Config) (*Result, error) {
 	eng.Trace = cfg.Trace
 	eng.Audit = cfg.Audit
 	eng.Inject(cfg.Faults)
+	eng.Policy = cfg.Sched
+	eng.Bcast = cfg.Bcast
 	if cfg.Lookahead > 0 {
 		eng.Lookahead = cfg.Lookahead
 	}

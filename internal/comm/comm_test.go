@@ -1,0 +1,120 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"geompc/internal/hw"
+)
+
+func TestLinkBookkeeping(t *testing.T) {
+	spec := hw.LinkSpec{Bw: 50e9, Lat: 10e-6, Power: 25}
+	l := NewLink("dev0/h2d", spec, true)
+
+	if got, want := l.Time(50e9), 1+10e-6; got != want {
+		t.Fatalf("Time(50e9) = %g, want %g", got, want)
+	}
+	// First booking starts at the data-availability bound.
+	s1 := l.StartAfter(3.0)
+	if s1 != 3.0 {
+		t.Fatalf("StartAfter on idle link = %g, want 3", s1)
+	}
+	end1 := l.Occupy(s1, 2.0, 1024)
+	if end1 != 5.0 || l.Free() != 5.0 {
+		t.Fatalf("Occupy end = %g free = %g, want 5", end1, l.Free())
+	}
+	// Second booking serializes behind the first even if its data was ready
+	// earlier.
+	s2 := l.StartAfter(1.0)
+	if s2 != 5.0 {
+		t.Fatalf("StartAfter on busy link = %g, want 5", s2)
+	}
+	l.Occupy(s2, 1.5, 2048)
+	if got, want := l.Busy(), 3.5; got != want {
+		t.Fatalf("Busy = %g, want %g", got, want)
+	}
+
+	ivs := l.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("got %d intervals, want 2", len(ivs))
+	}
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Start < ivs[i-1].End {
+			t.Errorf("intervals overlap: [%g,%g) then [%g,%g)", ivs[i-1].Start, ivs[i-1].End, ivs[i].Start, ivs[i].End)
+		}
+	}
+	if ivs[0].Power != 25 || ivs[0].Bytes != 1024 {
+		t.Errorf("interval carries power=%g bytes=%d, want 25/1024", ivs[0].Power, ivs[0].Bytes)
+	}
+	if l.Name() != "dev0/h2d" {
+		t.Errorf("Name = %q", l.Name())
+	}
+}
+
+func TestLinkUntracedKeepsNoIntervals(t *testing.T) {
+	l := NewLink("nic", hw.LinkSpec{Bw: 23e9, Lat: 1.5e-6}, false)
+	l.Occupy(l.StartAfter(0), 1, 64)
+	if l.Intervals() != nil {
+		t.Fatalf("untraced link recorded %d intervals", len(l.Intervals()))
+	}
+	if l.Busy() != 1 {
+		t.Fatalf("Busy = %g, want 1", l.Busy())
+	}
+}
+
+func TestBinomialMatchesHistoricalBroadcast(t *testing.T) {
+	// The engine's historical inline broadcast: sender NIC held one hop,
+	// every receiver served after ceil(log2(n+1)) hops.
+	b := Binomial{}
+	for n := 1; n <= 400; n++ {
+		want := math.Ceil(math.Log2(float64(n) + 1))
+		for _, i := range []int{0, n / 2, n - 1} {
+			if got := b.ArrivalHops(i, n); got != want {
+				t.Fatalf("Binomial.ArrivalHops(%d, %d) = %g, want %g", i, n, got, want)
+			}
+		}
+		if got := b.SenderHops(n); got != 1 {
+			t.Fatalf("Binomial.SenderHops(%d) = %g, want 1", n, got)
+		}
+	}
+}
+
+func TestFlatAndChainShapes(t *testing.T) {
+	f, c := Flat{}, Chain{}
+	const n = 7
+	if f.SenderHops(n) != n {
+		t.Errorf("Flat.SenderHops(%d) = %g, want %d", n, f.SenderHops(n), n)
+	}
+	if c.SenderHops(n) != 1 {
+		t.Errorf("Chain.SenderHops(%d) = %g, want 1", n, c.SenderHops(n))
+	}
+	for i := 0; i < n; i++ {
+		if f.ArrivalHops(i, n) != float64(i)+1 {
+			t.Errorf("Flat.ArrivalHops(%d,%d) = %g", i, n, f.ArrivalHops(i, n))
+		}
+		if c.ArrivalHops(i, n) != float64(i)+1 {
+			t.Errorf("Chain.ArrivalHops(%d,%d) = %g", i, n, c.ArrivalHops(i, n))
+		}
+	}
+	// Every topology's last receiver is served no earlier than its first.
+	for _, topo := range Topologies() {
+		if topo.ArrivalHops(n-1, n) < topo.ArrivalHops(0, n) {
+			t.Errorf("%s: arrival hops not monotone", topo.Name())
+		}
+	}
+}
+
+func TestTopologyByName(t *testing.T) {
+	for _, want := range Topologies() {
+		got, err := TopologyByName(want.Name())
+		if err != nil || got.Name() != want.Name() {
+			t.Errorf("TopologyByName(%q) = %v, %v", want.Name(), got, err)
+		}
+	}
+	if def, err := TopologyByName(""); err != nil || def.Name() != "binomial" {
+		t.Errorf("TopologyByName(\"\") = %v, %v; want binomial", def, err)
+	}
+	if _, err := TopologyByName("hypercube"); err == nil {
+		t.Error("TopologyByName(hypercube) succeeded, want error")
+	}
+}

@@ -1,0 +1,71 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology shapes a one-to-n broadcast over the inter-rank network. The
+// engine charges the sender's NIC for SenderHops hop-durations and delivers
+// the data to the i-th receiver ArrivalHops hop-durations after the NIC
+// transfer starts, where one hop is the NIC's Time for the payload.
+//
+// Hop counts are returned as float64 because they multiply hop durations
+// directly; implementations must be deterministic pure functions.
+type Topology interface {
+	Name() string
+	// SenderHops is how many hop-durations the sender's NIC is occupied to
+	// broadcast to n receivers.
+	SenderHops(n int) float64
+	// ArrivalHops is how many hop-durations after the NIC start receiver i
+	// (0-based, of n) has the data.
+	ArrivalHops(i, n int) float64
+}
+
+// Binomial is the binomial-tree broadcast — the engine's historical (and
+// default) behavior: the root sends once, then every holder forwards in
+// parallel, so all n receivers have the data after ceil(log2(n+1)) hops.
+type Binomial struct{}
+
+func (Binomial) Name() string             { return "binomial" }
+func (Binomial) SenderHops(n int) float64 { return 1 }
+func (Binomial) ArrivalHops(i, n int) float64 {
+	return math.Ceil(math.Log2(float64(n) + 1))
+}
+
+// Flat is a sequential root-sends-to-everyone broadcast: the sender's NIC
+// is held for n hops and receiver i has the data after i+1 of them. The
+// worst sender occupancy, the best single-receiver latency.
+type Flat struct{}
+
+func (Flat) Name() string                 { return "flat" }
+func (Flat) SenderHops(n int) float64     { return float64(n) }
+func (Flat) ArrivalHops(i, n int) float64 { return float64(i) + 1 }
+
+// Chain is a pipeline: the root sends to the first receiver only (one hop
+// of NIC occupancy) and the data ripples down the chain, reaching receiver
+// i after i+1 hops. The cheapest sender occupancy, the worst tail latency.
+type Chain struct{}
+
+func (Chain) Name() string                 { return "chain" }
+func (Chain) SenderHops(n int) float64     { return 1 }
+func (Chain) ArrivalHops(i, n int) float64 { return float64(i) + 1 }
+
+// Topologies returns every built-in broadcast topology, default first.
+func Topologies() []Topology {
+	return []Topology{Binomial{}, Flat{}, Chain{}}
+}
+
+// TopologyByName resolves "binomial", "flat" or "chain". The empty string
+// resolves to the default (binomial).
+func TopologyByName(name string) (Topology, error) {
+	switch name {
+	case "", "binomial":
+		return Binomial{}, nil
+	case "flat":
+		return Flat{}, nil
+	case "chain":
+		return Chain{}, nil
+	}
+	return nil, fmt.Errorf("comm: unknown broadcast topology %q (want binomial, flat or chain)", name)
+}

@@ -141,6 +141,43 @@ func (g *GPUSpec) DynPower(p prec.Precision) float64 {
 	return (g.TDP - g.IdleW) * f
 }
 
+// LinkSpec is the timing/power model of one point-to-point transfer
+// resource: a host-link direction, an intra-node peer (NVLink/NVSwitch)
+// lane, or a rank's NIC. internal/comm turns a LinkSpec into a simulated
+// serial resource with occupancy and traced intervals.
+type LinkSpec struct {
+	Bw    float64 // bytes/s
+	Lat   float64 // fixed per-transfer latency, seconds
+	Power float64 // extra watts drawn while a transfer is in flight
+}
+
+// Time returns the transfer time of nbytes over the link.
+func (l LinkSpec) Time(nbytes int64) float64 {
+	return l.Lat + float64(nbytes)/l.Bw
+}
+
+// H2DLink is the host-to-device direction of the GPU's host link. Time over
+// it is identical to H2DTime.
+func (g *GPUSpec) H2DLink() LinkSpec {
+	return LinkSpec{Bw: g.H2DBw, Lat: g.LinkLatency, Power: g.TransferW}
+}
+
+// D2HLink is the device-to-host direction of the GPU's host link. Time over
+// it is identical to D2HTime.
+func (g *GPUSpec) D2HLink() LinkSpec {
+	return LinkSpec{Bw: g.D2HBw, Lat: g.LinkLatency, Power: g.TransferW}
+}
+
+// PeerLink is the intra-node device-to-device lane (NVLink/NVSwitch).
+func (g *GPUSpec) PeerLink() LinkSpec {
+	return LinkSpec{Bw: g.PeerBw, Lat: g.LinkLatency, Power: g.TransferW}
+}
+
+// NICLink is the rank's network injection port.
+func (n *NodeSpec) NICLink() LinkSpec {
+	return LinkSpec{Bw: n.NetBw, Lat: n.NetLat}
+}
+
 // NodeSpec describes one compute node: identical GPUs plus the NIC that
 // connects it to the rest of the machine.
 type NodeSpec struct {

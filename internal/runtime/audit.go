@@ -3,6 +3,8 @@ package runtime
 import (
 	"fmt"
 	"math"
+
+	"geompc/internal/comm"
 )
 
 // This file implements the run-invariant auditor (Engine.Audit). It checks
@@ -92,7 +94,7 @@ func (e *Engine) auditFinal() {
 	// energy accrued during the run.
 	var traced float64
 	for _, d := range e.devices {
-		for _, ivs := range [][]Interval{d.busyIntervals, d.convIntervals, d.h2dIntervals, d.d2hIntervals} {
+		for _, ivs := range [][]Interval{d.busyIntervals, d.convIntervals, d.h2d.Intervals(), d.d2h.Intervals()} {
 			for _, iv := range ivs {
 				if iv.End < iv.Start {
 					e.violate("dev%d: interval ends (%g) before it starts (%g)", d.id, iv.End, iv.Start)
@@ -107,5 +109,54 @@ func (e *Engine) auditFinal() {
 	if diff := math.Abs(traced - e.stats.Energy); diff > 1e-9*math.Max(1, math.Abs(e.stats.Energy)) {
 		e.violate("energy conservation: traced intervals integrate to %.12g J, Stats.Energy is %.12g J (diff %g)",
 			traced, e.stats.Energy, diff)
+	}
+
+	e.auditLinks()
+}
+
+// relClose reports a ≈ b to within floating-point reassociation error: a
+// link's busy counter accumulates durations while the interval sum
+// accumulates (end−start) differences, which reassociate differently.
+func relClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// auditLink checks one serial link's trace: no two occupancy intervals
+// overlap (a serial resource carries one transfer at a time), and the
+// intervals integrate to the link's cumulative busy time.
+func (e *Engine) auditLink(l *comm.Link) {
+	var sum, prevEnd float64
+	for i, iv := range l.Intervals() {
+		if iv.End < iv.Start {
+			e.violate("link %s: interval %d ends (%g) before it starts (%g)", l.Name(), i, iv.End, iv.Start)
+		}
+		if iv.Start < prevEnd && !relClose(iv.Start, prevEnd) {
+			e.violate("link %s: interval %d starts at %g, overlapping the previous end %g",
+				l.Name(), i, iv.Start, prevEnd)
+		}
+		prevEnd = iv.End
+		sum += iv.End - iv.Start
+	}
+	if !relClose(sum, l.Busy()) {
+		e.violate("link %s: traced intervals sum to %.12g s of occupancy, busy counter says %.12g s",
+			l.Name(), sum, l.Busy())
+	}
+}
+
+// auditLinks validates every link's serial-occupancy invariants, and that
+// each device's TransferTime equals its two host-link busy times — the
+// traced transfer time and the accounted one must agree.
+func (e *Engine) auditLinks() {
+	for _, d := range e.devices {
+		e.auditLink(d.h2d)
+		e.auditLink(d.d2h)
+		e.auditLink(d.peer)
+		if !relClose(d.h2d.Busy()+d.d2h.Busy(), d.stats.TransferTime) {
+			e.violate("dev%d: host links busy %.12g s, DeviceStats.TransferTime %.12g s",
+				d.id, d.h2d.Busy()+d.d2h.Busy(), d.stats.TransferTime)
+		}
+	}
+	for _, nic := range e.nics {
+		e.auditLink(nic)
 	}
 }

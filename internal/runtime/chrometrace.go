@@ -21,6 +21,8 @@ func (e *Engine) WriteChromeTrace(w io.Writer, name func(id int) string) error {
 	tr.SetMeta("makespan_seconds", fmt.Sprintf("%g", e.stats.Makespan))
 	tr.SetMeta("energy_joules", fmt.Sprintf("%g", e.stats.Energy))
 	tr.SetMeta("schedule_digest", fmt.Sprintf("%016x", e.stats.ScheduleDigest))
+	tr.SetMeta("sched_policy", e.policy.Name())
+	tr.SetMeta("bcast_topology", e.topo.Name())
 
 	const (
 		tidCompute = 0
@@ -39,11 +41,11 @@ func (e *Engine) WriteChromeTrace(w io.Writer, name func(id int) string) error {
 			tr.Span(pid, tidConvert, "convert", iv.Start, iv.End, "generic_work",
 				map[string]any{"watts": iv.Power})
 		}
-		for _, iv := range d.h2dIntervals {
+		for _, iv := range d.h2d.Intervals() {
 			tr.Span(pid, tidH2D, fmt.Sprintf("H2D %d B", iv.Bytes), iv.Start, iv.End, "",
 				map[string]any{"bytes": iv.Bytes, "watts": iv.Power})
 		}
-		for _, iv := range d.d2hIntervals {
+		for _, iv := range d.d2h.Intervals() {
 			tr.Span(pid, tidD2H, fmt.Sprintf("D2H %d B", iv.Bytes), iv.Start, iv.End, "",
 				map[string]any{"bytes": iv.Bytes, "watts": iv.Power})
 		}
@@ -80,18 +82,17 @@ func (e *Engine) WriteChromeTrace(w io.Writer, name func(id int) string) error {
 		tr.SetMeta("replayed_tasks", fmt.Sprintf("%d", e.stats.ReplayedTasks))
 		tr.SetMeta("recovery_bytes", fmt.Sprintf("%d", e.stats.RecoveryBytes))
 	}
-	if e.nicIntervals != nil {
-		for rank, ivs := range e.nicIntervals {
-			if len(ivs) == 0 {
-				continue
-			}
-			pid := len(e.devices) + rank
-			tr.SetProcessName(pid, fmt.Sprintf("rank%d NIC", rank))
-			tr.SetThreadName(pid, 0, "send")
-			for _, iv := range ivs {
-				tr.Span(pid, 0, fmt.Sprintf("bcast %d B", iv.Bytes), iv.Start, iv.End, "",
-					map[string]any{"bytes": iv.Bytes})
-			}
+	for rank, nic := range e.nics {
+		ivs := nic.Intervals()
+		if len(ivs) == 0 {
+			continue
+		}
+		pid := len(e.devices) + rank
+		tr.SetProcessName(pid, fmt.Sprintf("rank%d NIC", rank))
+		tr.SetThreadName(pid, 0, "send")
+		for _, iv := range ivs {
+			tr.Span(pid, 0, fmt.Sprintf("bcast %d B", iv.Bytes), iv.Start, iv.End, "",
+				map[string]any{"bytes": iv.Bytes})
 		}
 	}
 	return tr.WriteJSON(w)

@@ -5,35 +5,57 @@ import (
 	"math"
 	gort "runtime"
 
-	"geompc/internal/hw"
+	"geompc/internal/comm"
 	"geompc/internal/obs"
 	"geompc/internal/prec"
+	"geompc/internal/sched"
 )
 
 // Engine executes a Graph on a Platform, producing virtual-time statistics
-// and (when task bodies are present) real numeric results.
+// and (when task bodies are present) real numeric results. The engine is
+// the orchestration core; the communication fabric (links, broadcast
+// topology) lives in internal/comm and the scheduling policy (queue order,
+// placement, failover) in internal/sched.
 type Engine struct {
 	plat *Platform
 	g    Graph
 
 	// Trace enables per-interval power/occupancy recording on all devices
-	// (used by the Fig 9/10 experiments; costs memory on large runs).
+	// and links (used by the Fig 9/10 experiments; costs memory on large
+	// runs).
 	Trace bool
 
 	// Audit enables the run-invariant auditor: pin-count balance at
 	// completion, LRU residency within device memory whenever evictable
-	// tiles exist, and exact energy conservation between the interval
-	// traces and Stats.Energy. Auditing forces Trace on; Run returns an
-	// error listing the violations, if any.
+	// tiles exist, per-link interval consistency, and exact energy
+	// conservation between the interval traces and Stats.Energy. Auditing
+	// forces Trace on; Run returns an error listing the violations, if any.
 	Audit bool
 
 	// Lookahead is the number of tasks each device pipeline accepts ahead
 	// of execution (stream double-buffering). Default 2.
 	Lookahead int
 
-	devices      []*device
-	nicFree      []float64
-	nicIntervals [][]Interval // per rank, Trace only
+	// Policy selects the scheduling policy — ready-queue order, device
+	// placement and fault failover. Nil means sched.FIFO{}, the engine's
+	// historical behavior (owner-computes placement, priority/id order).
+	Policy sched.Policy
+
+	// Bcast selects the inter-rank broadcast topology. Nil means
+	// comm.Binomial{}, the engine's historical behavior.
+	Bcast comm.Topology
+
+	devices []*device
+	// nics holds one comm.Link per rank: the send side of its broadcasts.
+	nics []*comm.Link
+	// Resolved policy/topology for the current run (defaults applied), the
+	// shared ready-queue ordering, and the placement scratch buffer.
+	policy  sched.Policy
+	topo    comm.Topology
+	ord     heapOrder
+	placing bool
+	refsBuf []sched.DataRef
+
 	// Host-availability index: when the graph implements DataBounder the
 	// dense per-(rank,data) table is used (one flat slice, -1 = absent);
 	// otherwise the map fallback. The dense form removes a map lookup per
@@ -42,15 +64,15 @@ type Engine struct {
 	hostDense    []float64
 	hostDenseBuf []float64 // retained across runs to avoid regrowth
 	hostBound    int
-	pending   []int32
-	events    []event
-	specFree  []*TaskSpec
-	seq       int64
-	now       float64
-	succBuf   []int
-	inflight  int
-	done      int
-	dirtyDevs []int
+	pending      []int32
+	events       []event
+	specFree     []*TaskSpec
+	seq          int64
+	now          float64
+	succBuf      []int
+	inflight     int
+	done         int
+	dirtyDevs    []int
 
 	// Fault injection (see faults.go / recovery.go). Everything below is
 	// dormant — and provably free — unless `armed` is set, which happens
@@ -98,218 +120,6 @@ type Engine struct {
 	stats Stats
 }
 
-// ScheduledTask records one task's placement in the simulated schedule
-// (recorded only when Trace is enabled).
-type ScheduledTask struct {
-	ID         int
-	Kind       hw.KernelKind
-	Device     int
-	Prec       prec.Precision
-	Start, End float64
-	// Recovery marks work issued by the fault-recovery path: lineage
-	// replays reconstructing lost tiles, and transient-fault retries.
-	Recovery bool
-}
-
-type hostKey struct {
-	rank int
-	data DataID
-}
-
-// hostAbsent marks a (rank, data) slot of the dense host index with no host
-// copy; availability times are always ≥ 0.
-const hostAbsent = -1.0
-
-func (e *Engine) setHostAvail(rank int, d DataID, at float64) {
-	if e.hostDense != nil {
-		e.hostDense[rank*e.hostBound+int(d)] = at
-		return
-	}
-	e.hostAvail[hostKey{rank, d}] = at
-}
-
-func (e *Engine) lookupHostAvail(rank int, d DataID) (float64, bool) {
-	if e.hostDense != nil {
-		v := e.hostDense[rank*e.hostBound+int(d)]
-		return v, v != hostAbsent
-	}
-	v, ok := e.hostAvail[hostKey{rank, d}]
-	return v, ok
-}
-
-// Stats aggregates a run.
-type Stats struct {
-	// Makespan is the virtual time from start to the last task completion.
-	Makespan float64
-	// TotalFlops across all tasks.
-	TotalFlops float64
-	// Performance in flop/s (TotalFlops / Makespan).
-	Flops float64
-	// Data motion totals.
-	BytesH2D, BytesD2H, BytesNet int64
-	// Conversion counts: sender-side (STC) and receiver-side (TTC).
-	SenderConversions, ReceiverConversions int
-	// Energy in joules: dynamic compute + transfer + idle over makespan,
-	// summed over all devices.
-	Energy float64
-	// AvgPower = Energy / Makespan.
-	AvgPower float64
-	// Tasks executed.
-	Tasks int
-	// ScheduleDigest is an FNV-1a hash over every committed task's
-	// (kind, device, start, end, bytes) record. Equal digests prove two
-	// runs produced bit-identical schedules — across GOMAXPROCS settings
-	// and across the PTG and DTD front-ends (task ids are not hashed
-	// because the front-ends number tasks differently).
-	ScheduleDigest uint64
-	// Fault/recovery accounting — non-zero only when a FaultInjector armed
-	// the run (see Engine.Inject).
-	DeviceFailures  int   // devices lost to FaultKill
-	TransientFaults int   // FaultTransient events delivered
-	RetriedTasks    int   // tasks re-executed in place after a transient fault
-	ReplayedTasks   int   // lineage re-executions reconstructing lost tiles
-	RecoveryBytes   int64 // host-link bytes staged by lineage replays
-	// Per-device aggregates.
-	Devices []DeviceStats
-}
-
-// event is a committed task's completion notice in virtual time. The heap
-// is hand-rolled (pushEvent/popEvent) rather than container/heap: events are
-// plain values on one slice, so pushing never boxes through an interface —
-// the seed allocated one escape per event push and one per flight record.
-type event struct {
-	at     float64
-	seq    int64
-	spec   *TaskSpec
-	result chan struct{} // non-nil when a numeric body runs; closed at finish
-	// start is the compute-stream start of the task (retry cost basis).
-	start float64
-	// fault, when non-nil, makes this a fault-injection event (spec is nil).
-	fault *FaultEvent
-	// replay marks a recovery re-execution: complete() releases no
-	// successors and counts it separately.
-	replay bool
-}
-
-func eventBefore(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) pushEvent(ev event) {
-	h := append(e.events, ev)
-	for i := len(h) - 1; i > 0; {
-		p := (i - 1) / 2
-		if !eventBefore(&h[i], &h[p]) {
-			break
-		}
-		h[i], h[p] = h[p], h[i]
-		i = p
-	}
-	e.events = h
-}
-
-func (e *Engine) popEvent() event {
-	h := e.events
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h = h[:n]
-	siftDownEvent(h, 0)
-	e.events = h
-	return top
-}
-
-func siftDownEvent(h []event, i int) {
-	n := len(h)
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && eventBefore(&h[l], &h[m]) {
-			m = l
-		}
-		if r < n && eventBefore(&h[r], &h[m]) {
-			m = r
-		}
-		if m == i {
-			return
-		}
-		h[i], h[m] = h[m], h[i]
-		i = m
-	}
-}
-
-// heapifyEvents restores the heap invariant after the recovery path edited
-// the slice in place (removing a dead device's completions, or retiming a
-// retried task). O(n), and only ever runs on a fault — never on the hot
-// fault-free path.
-func (e *Engine) heapifyEvents() {
-	for i := len(e.events)/2 - 1; i >= 0; i-- {
-		siftDownEvent(e.events, i)
-	}
-}
-
-// taskHeap orders ready tasks by descending priority, then ascending id —
-// a total order, which keeps the simulation deterministic.
-type taskHeap []*TaskSpec
-
-func taskBefore(a, b *TaskSpec) bool {
-	if a.Priority != b.Priority {
-		return a.Priority > b.Priority
-	}
-	return a.ID < b.ID
-}
-
-func (h taskHeap) Len() int { return len(h) }
-
-func (h *taskHeap) push(t *TaskSpec) {
-	s := append(*h, t)
-	for i := len(s) - 1; i > 0; {
-		p := (i - 1) / 2
-		if !taskBefore(s[i], s[p]) {
-			break
-		}
-		s[i], s[p] = s[p], s[i]
-		i = p
-	}
-	*h = s
-}
-
-func (h *taskHeap) pop() *TaskSpec {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s[n] = nil
-	s = s[:n]
-	for i := 0; ; {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && taskBefore(s[l], s[m]) {
-			m = l
-		}
-		if r < n && taskBefore(s[r], s[m]) {
-			m = r
-		}
-		if m == i {
-			break
-		}
-		s[i], s[m] = s[m], s[i]
-		i = m
-	}
-	*h = s
-	return top
-}
-
-// DataBounder is an optional Graph capability: a graph whose DataIDs all lie
-// in [0, DataIDBound()) lets the engine replace the host-availability map
-// with a dense per-rank table.
-type DataBounder interface {
-	DataIDBound() int64
-}
-
 // New prepares an engine for one run of g on plat.
 func New(plat *Platform, g Graph) *Engine {
 	return &Engine{plat: plat, g: g, Lookahead: 2, metrics: obs.NewRegistry()}
@@ -326,14 +136,17 @@ func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 func (e *Engine) Inject(fi FaultInjector) { e.injector = fi }
 
 // Run executes the task system to completion and returns the run's
-// statistics. It panics on malformed graphs (missing data, dependency
-// cycles leave tasks unexecuted and are reported as an error). With Audit
-// enabled, invariant violations are reported as an error after the run.
+// statistics. Malformed graphs (invalid device assignments, inputs with no
+// host copy, broken in-degree accounting) abort the run with a *GraphError;
+// dependency cycles leave tasks unexecuted and are reported as a plain
+// error. With Audit enabled, invariant violations are reported as an error
+// after the run.
 func (e *Engine) Run() (Stats, error) {
 	if e.Audit {
 		e.Trace = true // the energy-conservation check needs the intervals
 	}
 	n := e.g.NumTasks()
+	e.resolveSched()
 	e.hostAvail, e.hostDense, e.hostBound = nil, nil, 0
 	if b, ok := e.g.(DataBounder); ok {
 		// Cap the dense tables' footprint; graphs with huge sparse id
@@ -356,12 +169,11 @@ func (e *Engine) Run() (Stats, error) {
 	}
 	e.devices = make([]*device, e.plat.NumDevices())
 	for i := range e.devices {
-		e.devices[i] = newDevice(i, e.plat.RankOfDevice(i), e.plat.Node.GPU, e.Trace, e.hostBound)
+		e.devices[i] = newDevice(i, e.plat.RankOfDevice(i), e.plat.Node.GPU, e.Trace, e.hostBound, &e.ord)
 	}
-	e.nicFree = make([]float64, e.plat.Ranks)
-	e.nicIntervals = nil
-	if e.Trace {
-		e.nicIntervals = make([][]Interval, e.plat.Ranks)
+	e.nics = make([]*comm.Link, e.plat.Ranks)
+	for r := range e.nics {
+		e.nics[r] = comm.NewLink(fmt.Sprintf("rank%d/nic", r), e.plat.Node.NICLink(), e.Trace)
 	}
 	if cap(e.pending) >= n {
 		e.pending = e.pending[:n]
@@ -405,6 +217,9 @@ func (e *Engine) Run() (Stats, error) {
 	for i := range e.devices {
 		e.tryCommit(e.devices[i])
 	}
+	if e.fatalErr != nil {
+		return Stats{}, e.fatalErr
+	}
 
 	for len(e.events) > 0 {
 		ev := e.popEvent()
@@ -432,24 +247,17 @@ func (e *Engine) Run() (Stats, error) {
 	return e.stats, nil
 }
 
-// AuditViolations returns the invariant violations collected during an
-// audited run (nil when clean or when Audit was off).
-func (e *Engine) AuditViolations() []string { return e.auditViol }
-
 func (e *Engine) enqueueReady(id int) int {
-	var spec *TaskSpec
-	if n := len(e.specFree); n > 0 {
-		// Recycled spec: completed tasks return their TaskSpec (and the
-		// allocations reachable from it) for the graph to refill.
-		spec = e.specFree[n-1]
-		e.specFree = e.specFree[:n-1]
-	} else {
-		spec = &TaskSpec{}
-	}
+	spec := e.takeSpec()
 	e.g.Spec(id, spec)
 	spec.ID = id
 	if spec.Device < 0 || spec.Device >= len(e.devices) {
-		panic(fmt.Sprintf("runtime: task %d assigned to invalid device %d", id, spec.Device))
+		e.fail(&GraphError{Task: id, Msg: fmt.Sprintf("assigned to invalid device %d", spec.Device)})
+		e.specFree = append(e.specFree, spec)
+		return 0
+	}
+	if e.placing {
+		spec.Device = e.placeTask(spec)
 	}
 	d := e.devices[spec.Device]
 	if e.armed && d.deadAt >= 0 {
@@ -457,7 +265,7 @@ func (e *Engine) enqueueReady(id int) int {
 		// to a same-rank survivor (host copies are per rank).
 		t := e.failoverFor(d, failoverKey(spec))
 		if t < 0 {
-			e.fatalErr = fmt.Errorf("runtime: task %d unrecoverable: rank %d has no surviving device", id, d.rank)
+			e.fail(errUnrecoverable(id, d.rank))
 			e.specFree = append(e.specFree, spec)
 			return d.id
 		}
@@ -476,7 +284,7 @@ func (e *Engine) tryCommit(d *device) {
 	if d.deadAt >= 0 {
 		return
 	}
-	for d.committed < e.Lookahead && d.ready.Len() > 0 {
+	for e.fatalErr == nil && d.committed < e.Lookahead && d.ready.Len() > 0 {
 		e.commit(d, d.ready.pop())
 	}
 }
@@ -510,25 +318,22 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 				d.pin(data)
 				return
 			}
-			panic(fmt.Sprintf("runtime: task %d input %d not available at rank %d", spec.ID, data, d.rank))
+			e.fail(&GraphError{Task: spec.ID, Msg: fmt.Sprintf("input %d not available at rank %d", data, d.rank)})
+			return
 		}
-		start := math.Max(d.h2dFree, math.Max(avail, e.now))
-		dur := d.spec.H2DTime(bytes)
+		start := d.h2d.StartAfter(math.Max(avail, e.now))
+		dur := d.h2d.Time(bytes)
 		if e.armed {
 			dur *= d.slowFactor(start)
 		}
-		d.h2dFree = start + dur
-		d.h2dBusy += dur
+		end := d.h2d.Occupy(start, dur, bytes)
 		d.stats.BytesH2D += bytes
 		e.bytesH2D[wp] += bytes
 		d.stats.TransferTime += dur
-		if d.trace {
-			d.h2dIntervals = append(d.h2dIntervals, Interval{Start: start, End: start + dur, Power: d.spec.TransferW, Bytes: bytes})
-		}
 		e.hH2DBytes.Observe(float64(bytes))
 		d.stats.DynEnergy += d.spec.TransferW * dur
-		if start+dur > stagingEnd {
-			stagingEnd = start + dur
+		if end > stagingEnd {
+			stagingEnd = end
 		}
 		d.insert(data, bytes, wp, !isOutput, e.now, &sink)
 		d.pin(data)
@@ -540,6 +345,12 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 	}
 	if spec.Output.Data >= 0 {
 		stage(spec.Output.Data, spec.Output.Bytes, spec.Output.Prec, true)
+	}
+	if e.fatalErr != nil {
+		// Malformed graph: abort before booking compute. Run surfaces the
+		// GraphError; partial staging state is irrelevant past this point.
+		e.specFree = append(e.specFree, spec)
+		return
 	}
 	e.drainWritebacks(d, &sink)
 	if e.inRecovery {
@@ -629,21 +440,17 @@ const convPowerFrac = 0.25
 // their host copies.
 func (e *Engine) drainWritebacks(d *device, sink *evictSink) {
 	for _, wb := range sink.writebacks {
-		start := math.Max(d.d2hFree, e.now)
-		dur := d.spec.D2HTime(wb.bytes)
+		start := d.d2h.StartAfter(e.now)
+		dur := d.d2h.Time(wb.bytes)
 		if e.armed {
 			dur *= d.slowFactor(start)
 		}
-		d.d2hFree = start + dur
-		d.d2hBusy += dur
+		end := d.d2h.Occupy(start, dur, wb.bytes)
 		d.stats.BytesD2H += wb.bytes
 		e.bytesD2H[wb.prec] += wb.bytes
 		d.stats.TransferTime += dur
 		d.stats.DynEnergy += d.spec.TransferW * dur
-		if d.trace {
-			d.d2hIntervals = append(d.d2hIntervals, Interval{Start: start, End: start + dur, Power: d.spec.TransferW, Bytes: wb.bytes})
-		}
-		e.setHostAvail(d.rank, wb.data, start+dur)
+		e.setHostAvail(d.rank, wb.data, end)
 		if e.armed {
 			// The writeback restored a current host copy; the datum no
 			// longer needs lineage re-execution if this device dies.
@@ -720,7 +527,8 @@ func (e *Engine) complete(ev *event) {
 				e.dirtyDevs = append(e.dirtyDevs, dev)
 			}
 		case e.pending[s] < 0:
-			panic(fmt.Sprintf("runtime: task %d released more than its in-degree", s))
+			e.fail(&GraphError{Task: s, Msg: "released more than its in-degree"})
+			return
 		}
 	}
 	// The task is fully retired; its spec (and the slices hanging off it)
@@ -754,179 +562,35 @@ func (e *Engine) publish(d *device, spec *TaskSpec, p *PublishSpec) {
 		}
 	}
 	// D2H of the wire representation.
-	start := math.Max(d.d2hFree, t)
-	dur := d.spec.D2HTime(p.WireBytes)
+	start := d.d2h.StartAfter(t)
+	dur := d.d2h.Time(p.WireBytes)
 	if e.armed {
 		dur *= d.slowFactor(start)
 	}
-	d.d2hFree = start + dur
-	d.d2hBusy += dur
-	hostAt := start + dur
+	hostAt := d.d2h.Occupy(start, dur, p.WireBytes)
 	d.stats.BytesD2H += p.WireBytes
 	e.bytesD2H[p.WirePrec] += p.WireBytes
 	d.stats.TransferTime += dur
 	d.stats.DynEnergy += d.spec.TransferW * dur
-	if d.trace {
-		d.d2hIntervals = append(d.d2hIntervals, Interval{Start: start, End: hostAt, Power: d.spec.TransferW, Bytes: p.WireBytes})
-	}
 	e.setHostAvail(d.rank, spec.Output.Data, hostAt)
 	if entry := d.entry(spec.Output.Data); entry != nil {
 		entry.hostCopy = true
 	}
 
-	if len(p.RemoteRanks) > 0 {
-		// Binomial-tree broadcast: the sender's NIC is occupied for one
-		// hop; every receiver has the data after ceil(log2(n+1)) hops.
-		hop := e.plat.Node.NetLat + float64(p.WireBytes)/e.plat.Node.NetBw
-		nstart := math.Max(e.nicFree[d.rank], hostAt)
-		e.nicFree[d.rank] = nstart + hop
-		hops := math.Ceil(math.Log2(float64(len(p.RemoteRanks)) + 1))
-		arrival := nstart + hop*hops
-		if e.nicIntervals != nil {
-			e.nicIntervals[d.rank] = append(e.nicIntervals[d.rank],
-				Interval{Start: nstart, End: nstart + hop, Bytes: p.WireBytes})
-		}
-		for _, rr := range p.RemoteRanks {
-			e.setHostAvail(rr, spec.Output.Data, arrival)
+	if n := len(p.RemoteRanks); n > 0 {
+		// Broadcast over the run's topology: the sender's NIC is occupied
+		// for SenderHops hop-durations; receiver i has the data after
+		// ArrivalHops(i) hops. Under the default binomial tree this is the
+		// engine's historical arithmetic, bit for bit: one hop of NIC
+		// occupancy, every receiver served after ceil(log2(n+1)) hops.
+		nic := e.nics[d.rank]
+		hop := nic.Time(p.WireBytes)
+		nstart := nic.StartAfter(hostAt)
+		nic.Occupy(nstart, hop*e.topo.SenderHops(n), p.WireBytes)
+		for i, rr := range p.RemoteRanks {
+			e.setHostAvail(rr, spec.Output.Data, nstart+hop*e.topo.ArrivalHops(i, n))
 			e.stats.BytesNet += p.WireBytes
 			e.bytesNet[p.WirePrec] += p.WireBytes
 		}
 	}
 }
-
-func (e *Engine) finalizeStats() {
-	var makespan float64
-	for _, d := range e.devices {
-		cf := d.computeFree
-		if d.deadAt >= 0 && cf > d.deadAt {
-			// Work the dead device had accepted past its failure was
-			// aborted and re-ran elsewhere; only survivors bound the run.
-			cf = d.deadAt
-		}
-		if cf > makespan {
-			makespan = cf
-		}
-	}
-	e.stats.Makespan = makespan
-	if makespan > 0 {
-		e.stats.Flops = e.stats.TotalFlops / makespan
-	}
-	var energy float64
-	for _, d := range e.devices {
-		energy += d.stats.DynEnergy + d.spec.IdleW*d.idleSpan(makespan)
-		e.stats.BytesH2D += d.stats.BytesH2D
-		e.stats.BytesD2H += d.stats.BytesD2H
-		e.stats.Devices = append(e.stats.Devices, d.stats)
-	}
-	e.stats.Energy = energy
-	if makespan > 0 {
-		e.stats.AvgPower = energy / makespan
-	}
-	e.stats.ScheduleDigest = e.digest.Sum()
-	e.publishMetrics(makespan)
-}
-
-// publishMetrics pours the run's aggregates into the metrics registry.
-func (e *Engine) publishMetrics(makespan float64) {
-	m := e.metrics
-	m.Counter("engine/tasks").Add(int64(e.stats.Tasks))
-	m.Counter("engine/conversions/stc").Add(int64(e.stats.SenderConversions))
-	m.Counter("engine/conversions/ttc").Add(int64(e.stats.ReceiverConversions))
-	m.Gauge("engine/makespan_seconds").Set(makespan)
-	m.Gauge("engine/energy_joules").Set(e.stats.Energy)
-	for p := prec.Precision(0); int(p) < prec.Count; p++ {
-		if v := e.bytesH2D[p]; v > 0 {
-			m.Counter("engine/bytes_h2d/" + p.String()).Add(v)
-		}
-		if v := e.bytesD2H[p]; v > 0 {
-			m.Counter("engine/bytes_d2h/" + p.String()).Add(v)
-		}
-		if v := e.bytesNet[p]; v > 0 {
-			m.Counter("engine/bytes_net/" + p.String()).Add(v)
-		}
-	}
-	var hits, misses int64
-	var evictions, writebacks int
-	for _, d := range e.devices {
-		hits += d.stats.LRUHits
-		misses += d.stats.LRUMisses
-		evictions += d.stats.Evictions
-		writebacks += d.stats.Writebacks
-		pfx := fmt.Sprintf("engine/dev%d/", d.id)
-		m.Gauge(pfx + "queue_depth_max").Set(float64(d.maxReady))
-		m.Gauge(pfx + "peak_resident_bytes").Set(float64(d.stats.PeakResident))
-		m.Gauge(pfx + "idle_compute_seconds").Set(math.Max(0, makespan-d.stats.BusyTime))
-		m.Gauge(pfx + "idle_h2d_seconds").Set(math.Max(0, makespan-d.h2dBusy))
-		m.Gauge(pfx + "idle_d2h_seconds").Set(math.Max(0, makespan-d.d2hBusy))
-	}
-	m.Counter("engine/lru/hits").Add(hits)
-	m.Counter("engine/lru/misses").Add(misses)
-	m.Counter("engine/lru/evictions").Add(int64(evictions))
-	m.Counter("engine/lru/writebacks").Add(int64(writebacks))
-	if e.armed {
-		m.Counter("engine/faults/device_failures").Add(int64(e.stats.DeviceFailures))
-		m.Counter("engine/faults/transient").Add(int64(e.stats.TransientFaults))
-		m.Counter("engine/recovery/retried_tasks").Add(int64(e.stats.RetriedTasks))
-		m.Counter("engine/recovery/replayed_tasks").Add(int64(e.stats.ReplayedTasks))
-		m.Counter("engine/recovery/bytes").Add(e.stats.RecoveryBytes)
-	}
-}
-
-// DeviceTrace returns device i's traced compute-stream intervals (kernels
-// and datatype conversions, each carrying its dynamic power draw) and
-// host-link transfer intervals (H2D staging, D2H publishes and writebacks),
-// recorded during a Trace-enabled run. Slices are rebuilt views; the
-// underlying intervals stay valid until the next Run.
-func (e *Engine) DeviceTrace(i int) (busy, xfer []Interval) {
-	d := e.devices[i]
-	busy = make([]Interval, 0, len(d.busyIntervals)+len(d.convIntervals))
-	busy = append(append(busy, d.busyIntervals...), d.convIntervals...)
-	xfer = make([]Interval, 0, len(d.h2dIntervals)+len(d.d2hIntervals))
-	xfer = append(append(xfer, d.h2dIntervals...), d.d2hIntervals...)
-	return busy, xfer
-}
-
-// StreamIntervals exposes device i's per-stream traces individually:
-// kernel execution, datatype conversions (both on the compute stream), and
-// the H2D/D2H host-link directions. Valid until the next Run.
-func (e *Engine) StreamIntervals(i int) (kernel, conv, h2d, d2h []Interval) {
-	d := e.devices[i]
-	return d.busyIntervals, d.convIntervals, d.h2dIntervals, d.d2hIntervals
-}
-
-// NICIntervals returns the traced send-side NIC occupancy of a rank's
-// broadcasts (first hop per publish). Nil when tracing was off.
-func (e *Engine) NICIntervals(rank int) []Interval {
-	if e.nicIntervals == nil {
-		return nil
-	}
-	return e.nicIntervals[rank]
-}
-
-// ScheduleTrace returns the ordered task placements recorded during a
-// Trace-enabled run (commit order; sort by Start for a timeline).
-func (e *Engine) ScheduleTrace() []ScheduledTask { return e.schedule }
-
-// workerPool runs numeric task bodies concurrently, bounded by size.
-type workerPool struct {
-	jobs chan func()
-	done chan struct{}
-}
-
-func newWorkerPool(size int) *workerPool {
-	if size < 1 {
-		size = 1
-	}
-	p := &workerPool{jobs: make(chan func(), 4*size), done: make(chan struct{})}
-	for i := 0; i < size; i++ {
-		go func() {
-			for j := range p.jobs {
-				j()
-			}
-		}()
-	}
-	return p
-}
-
-func (p *workerPool) submit(f func()) { p.jobs <- f }
-func (p *workerPool) close()          { close(p.jobs) }

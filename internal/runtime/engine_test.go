@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -409,18 +410,30 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
-func TestMissingInputPanics(t *testing.T) {
+func TestMissingInputIsGraphError(t *testing.T) {
 	g := newTestGraph(1)
 	g.specs[0] = TaskSpec{Kind: hw.KindGemm, Device: 0, Prec: prec.FP64, Flops: 1,
 		Inputs: []InputSpec{{Data: 42, WireBytes: 1}},
 		Output: OutputSpec{Data: -1}}
-	eng := New(onePlat(t), g)
-	defer func() {
-		if recover() == nil {
-			t.Error("missing input data did not panic")
-		}
-	}()
-	_, _ = eng.Run()
+	_, err := New(onePlat(t), g).Run()
+	var ge *GraphError
+	if !errors.As(err, &ge) {
+		t.Fatalf("missing input: err = %v, want a *GraphError", err)
+	}
+	if ge.Task != 0 {
+		t.Errorf("GraphError.Task = %d, want 0", ge.Task)
+	}
+}
+
+func TestInvalidDeviceIsGraphError(t *testing.T) {
+	g := newTestGraph(1)
+	g.specs[0] = TaskSpec{Kind: hw.KindGemm, Device: 7, Prec: prec.FP64, Flops: 1,
+		Output: OutputSpec{Data: -1}}
+	_, err := New(onePlat(t), g).Run()
+	var ge *GraphError
+	if !errors.As(err, &ge) {
+		t.Fatalf("invalid device: err = %v, want a *GraphError", err)
+	}
 }
 
 func TestTraceIntervals(t *testing.T) {

@@ -1,0 +1,26 @@
+package runtime
+
+import "fmt"
+
+// GraphError reports a malformed task graph: a task assigned to a device
+// that doesn't exist, an input with no host copy at the task's rank, or
+// broken in-degree accounting. The engine used to panic on these; now they
+// abort the run and surface from Run, so a bad front-end is a test failure
+// rather than a process crash.
+type GraphError struct {
+	Task int    // the offending task id
+	Msg  string // what is malformed about it
+}
+
+func (g *GraphError) Error() string {
+	return fmt.Sprintf("runtime: malformed graph: task %d %s", g.Task, g.Msg)
+}
+
+// fail records the run's first fatal error; the event loop (and the commit
+// path) stop at the next check. Later errors are dropped — the first one is
+// the cause, anything after it is fallout.
+func (e *Engine) fail(err error) {
+	if e.fatalErr == nil {
+		e.fatalErr = err
+	}
+}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"geompc/internal/comm"
 	"geompc/internal/hw"
 	"geompc/internal/prec"
 )
@@ -50,8 +51,13 @@ type device struct {
 	spec *hw.GPUSpec
 
 	computeFree float64 // next instant the compute stream is free
-	h2dFree     float64
-	d2hFree     float64
+
+	// Host-link directions (and the intra-node peer lane) as first-class
+	// comm.Links: each carries its own free time, cumulative busy time and
+	// traced intervals. peer is constructed for symmetry — the Cholesky
+	// front-ends route all tile exchange through host staging, so it stays
+	// idle until a D2D path exists.
+	h2d, d2h, peer *comm.Link
 
 	committed int  // tasks accepted into the stream pipeline, not yet done
 	maxReady  int  // deepest the ready queue ever got (queue-depth metric)
@@ -82,18 +88,14 @@ type device struct {
 
 	stats DeviceStats
 
-	// per-stream busy totals (always tracked; feed the stream-idle metrics).
-	h2dBusy, d2hBusy float64
-
-	// tracing (optional): one interval slice per stream. The power carried
+	// tracing (optional): one interval slice per compute stream; the
+	// host-link streams trace inside their comm.Links. The power carried
 	// by each interval times its duration is exactly the dynamic energy the
 	// engine accrued for that activity, so ∑ interval·watts + idle·makespan
 	// reconstructs Stats.Energy bit-for-bit (the auditor checks this).
 	trace         bool
 	busyIntervals []Interval // compute stream: kernel execution
 	convIntervals []Interval // compute stream: datatype conversions (STC+TTC)
-	h2dIntervals  []Interval
-	d2hIntervals  []Interval
 }
 
 type residentEntry struct {
@@ -114,19 +116,16 @@ type DeviceStats struct {
 	BytesD2H       int64
 	Evictions      int
 	Writebacks     int
-	LRUHits        int64 // staged tile already resident (no transfer)
-	LRUMisses      int64 // staged tile absent (transfer or fresh allocation)
+	LRUHits        int64   // staged tile already resident (no transfer)
+	LRUMisses      int64   // staged tile absent (transfer or fresh allocation)
 	DynEnergy      float64 // joules above idle
 	PeakResident   int64
 	ConvertKernels int
 }
 
-// Interval is a traced activity window.
-type Interval struct {
-	Start, End float64
-	Power      float64 // dynamic watts during the window (trace use)
-	Bytes      int64   // bytes moved, for transfer streams (0 for compute)
-}
+// Interval is a traced activity window. It is comm's Interval type: device
+// streams and links share one trace currency.
+type Interval = comm.Interval
 
 // slowWindow is an injected host-link degradation: transfers starting in
 // [from, to) take factor times longer.
@@ -154,12 +153,15 @@ func (d *device) idleSpan(makespan float64) float64 {
 	return makespan
 }
 
-func newDevice(id, rank int, spec *hw.GPUSpec, trace bool, dataBound int) *device {
+func newDevice(id, rank int, spec *hw.GPUSpec, trace bool, dataBound int, ord *heapOrder) *device {
 	d := &device{
 		id: id, rank: rank, spec: spec,
-		ready:  &taskHeap{},
+		ready:  &taskHeap{ord: ord},
 		trace:  trace,
 		deadAt: -1,
+		h2d:    comm.NewLink(fmt.Sprintf("dev%d/h2d", id), spec.H2DLink(), trace),
+		d2h:    comm.NewLink(fmt.Sprintf("dev%d/d2h", id), spec.D2HLink(), trace),
+		peer:   comm.NewLink(fmt.Sprintf("dev%d/peer", id), spec.PeerLink(), trace),
 	}
 	if dataBound > 0 {
 		d.residentArr = make([]*residentEntry, dataBound)

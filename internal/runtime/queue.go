@@ -1,0 +1,160 @@
+package runtime
+
+import "geompc/internal/sched"
+
+// This file holds the engine's two hand-rolled heaps: the global
+// completion-event heap and the per-device ready queue. Both avoid
+// container/heap so pushing never boxes through an interface — the seed
+// allocated one escape per event push and one per flight record.
+
+// event is a committed task's completion notice in virtual time.
+type event struct {
+	at     float64
+	seq    int64
+	spec   *TaskSpec
+	result chan struct{} // non-nil when a numeric body runs; closed at finish
+	// start is the compute-stream start of the task (retry cost basis).
+	start float64
+	// fault, when non-nil, makes this a fault-injection event (spec is nil).
+	fault *FaultEvent
+	// replay marks a recovery re-execution: complete() releases no
+	// successors and counts it separately.
+	replay bool
+}
+
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) pushEvent(ev event) {
+	h := append(e.events, ev)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !eventBefore(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.events = h
+}
+
+func (e *Engine) popEvent() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	siftDownEvent(h, 0)
+	e.events = h
+	return top
+}
+
+func siftDownEvent(h []event, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && eventBefore(&h[l], &h[m]) {
+			m = l
+		}
+		if r < n && eventBefore(&h[r], &h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// heapifyEvents restores the heap invariant after the recovery path edited
+// the slice in place (removing a dead device's completions, or retiming a
+// retried task). O(n), and only ever runs on a fault — never on the hot
+// fault-free path.
+func (e *Engine) heapifyEvents() {
+	for i := len(e.events)/2 - 1; i >= 0; i-- {
+		siftDownEvent(e.events, i)
+	}
+}
+
+// heapOrder is the ready-queue comparator every device's taskHeap shares: it
+// routes comparisons through the run's sched.Policy. The FIFO fast path
+// inlines the historical descending-priority/ascending-id order so the
+// default policy pays no interface call per sift step.
+type heapOrder struct {
+	pol  sched.Policy
+	cp   []int64 // per-task critical-path lengths; nil unless requested
+	fifo bool
+}
+
+func (o *heapOrder) key(t *TaskSpec) sched.Key {
+	k := sched.Key{ID: t.ID, Priority: t.Priority}
+	if o.cp != nil && t.ID < len(o.cp) {
+		k.CP = o.cp[t.ID]
+	}
+	return k
+}
+
+func (o *heapOrder) before(a, b *TaskSpec) bool {
+	if o.fifo {
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		return a.ID < b.ID
+	}
+	return o.pol.Before(o.key(a), o.key(b))
+}
+
+// taskHeap is one device's ready queue, ordered by the run's policy (a
+// total order — ties break by id — which keeps the simulation
+// deterministic).
+type taskHeap struct {
+	ord   *heapOrder
+	items []*TaskSpec
+}
+
+func (h *taskHeap) Len() int { return len(h.items) }
+
+func (h *taskHeap) push(t *TaskSpec) {
+	s := append(h.items, t)
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.ord.before(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	h.items = s
+}
+
+func (h *taskHeap) pop() *TaskSpec {
+	s := h.items
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.ord.before(s[l], s[m]) {
+			m = l
+		}
+		if r < n && h.ord.before(s[r], s[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	h.items = s
+	return top
+}

@@ -103,6 +103,8 @@ func failoverKey(spec *TaskSpec) int64 {
 // failoverFor returns the surviving same-rank device that inherits work
 // keyed by key from the failed device orig, or -1 when the whole rank is
 // dead (host copies live per rank, so work cannot migrate across ranks).
+// The pick itself is the policy's: every front-end and the recovery path
+// route through the same sched.Policy.Failover.
 func (e *Engine) failoverFor(orig *device, key int64) int {
 	base := orig.rank * e.plat.DevPerRank
 	e.aliveBuf = e.aliveBuf[:0]
@@ -114,10 +116,7 @@ func (e *Engine) failoverFor(orig *device, key int64) int {
 	if len(e.aliveBuf) == 0 {
 		return -1
 	}
-	if key < 0 {
-		key = -key
-	}
-	return e.aliveBuf[int(key%int64(len(e.aliveBuf)))]
+	return e.policy.Failover(key, e.aliveBuf)
 }
 
 // reroute re-places a task from a failed device onto a survivor's ready
