@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz experiments clean
+.PHONY: all build test vet lint bench race fuzz experiments clean
 
 all: build test
 
@@ -11,6 +11,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific analyzers (detercheck, preccast, lockcheck, hotalloc) on
+# top of gofmt and go vet. See DESIGN.md §6e and the "Static analysis"
+# section of the README for the //geompc:hot and //geompc:nolint grammar.
+lint: vet
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then echo "gofmt needed:"; echo "$$fmtout"; exit 1; fi
+	$(GO) run ./cmd/geompclint ./...
 
 test: vet
 	$(GO) test ./...

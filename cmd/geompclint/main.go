@@ -1,0 +1,79 @@
+// Command geompclint is the repo's multichecker: it runs the
+// internal/analysis suite — detercheck (determinism), preccast (precision
+// safety), lockcheck (lock hygiene) and hotalloc (allocation-free hot
+// paths) — over the packages matching the given patterns and exits nonzero
+// on any diagnostic, including misused //geompc:nolint directives.
+//
+// Usage:
+//
+//	go run ./cmd/geompclint ./...          # lint the whole module
+//	go run ./cmd/geompclint -list          # describe the analyzers
+//	go run ./cmd/geompclint ./internal/runtime/ ./internal/obs/
+//
+// `make lint` and the CI lint job run the ./... form; a clean exit is part
+// of the build contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"geompc/internal/analysis"
+	"geompc/internal/analysis/detercheck"
+	"geompc/internal/analysis/hotalloc"
+	"geompc/internal/analysis/lockcheck"
+	"geompc/internal/analysis/preccast"
+)
+
+// analyzers is the registered suite, in reporting-name order.
+var analyzers = []*analysis.Analyzer{
+	detercheck.Analyzer,
+	hotalloc.Analyzer,
+	lockcheck.Analyzer,
+	preccast.Analyzer,
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "geompclint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("geompclint", flag.ContinueOnError)
+	fs.SetOutput(out)
+	dir := fs.String("dir", ".", "module `directory` to lint from")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(out, "%-12s %s\n", analysis.NolintAnalyzerName,
+			"reports misused //geompc:nolint directives (unknown analyzer, missing reason, expired)")
+		return nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.LoadPackages(*dir, patterns...)
+	if err != nil {
+		return err
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%d issue(s) in %d package(s)", len(diags), len(pkgs))
+	}
+	fmt.Fprintf(out, "geompclint: %d package(s) clean\n", len(pkgs))
+	return nil
+}

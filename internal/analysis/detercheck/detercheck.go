@@ -1,0 +1,229 @@
+// Package detercheck enforces the repo's determinism contract: the engine
+// runs on a virtual clock, and its schedules, digests, traces and metrics
+// snapshots are golden-pinned bit-for-bit. Two things silently break that —
+// map iteration order leaking into ordered output, and wall-clock or
+// global-RNG state entering a simulation package — and both only surface
+// later as flaky golden-test failures. This analyzer flags them at compile
+// time.
+//
+// Two rules:
+//
+//   - In the virtual-clock packages (runtime, sched, comm, cholesky) no code
+//     may call time.Now or a math/rand global-source convenience function
+//     (rand.Intn, rand.Float64, ...). Seeded construction (rand.New,
+//     rand.NewSource, rand.NewPCG) is allowed, as are _test.go files and
+//     faults.go, whose injector owns the repo's one seeded source.
+//
+//   - In those packages plus obs (which renders digests, traces and metrics
+//     snapshots) a `for range` over a map is flagged unless its iteration
+//     order provably cannot escape: either every statement in the body is
+//     order-insensitive (map writes/deletes keyed by the range variable,
+//     integer counter updates), or the body only collects into slices that
+//     are later passed to a sort call in the same function.
+package detercheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"geompc/internal/analysis"
+)
+
+// Analyzer is the detercheck instance registered with the driver.
+var Analyzer = &analysis.Analyzer{
+	Name: "detercheck",
+	Doc:  "flags map-iteration-order leaks and wall-clock/global-rand use in the deterministic packages",
+	Run:  run,
+}
+
+// clockPkgs run entirely on the virtual clock: wall-clock time and global
+// randomness are banned outright.
+var clockPkgs = map[string]bool{
+	"runtime": true, "sched": true, "comm": true, "cholesky": true,
+}
+
+// orderPkgs additionally includes obs, where map iteration order can leak
+// into rendered digests, traces and metric snapshots.
+var orderPkgs = map[string]bool{
+	"runtime": true, "sched": true, "comm": true, "cholesky": true, "obs": true,
+}
+
+func run(pass *analysis.Pass) {
+	base := analysis.PkgBase(pass)
+	checkClock := clockPkgs[base]
+	checkOrder := orderPkgs[base]
+	if !checkClock && !checkOrder {
+		return
+	}
+	for _, f := range pass.Files {
+		file := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		// faults.go owns the seeded injector; tests may seed freely.
+		clockAllowed := strings.HasSuffix(file, "_test.go") || file == "faults.go"
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if checkClock && !clockAllowed {
+						checkClockCall(pass, n)
+					}
+				case *ast.RangeStmt:
+					if checkOrder {
+						checkMapRange(pass, fd, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkClockCall flags time.Now and math/rand global-source calls.
+func checkClockCall(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name, ok := analysis.CalleePkgFunc(pass.Info, call)
+	if !ok {
+		return
+	}
+	switch pkg {
+	case "time":
+		if name == "Now" {
+			pass.Reportf(call.Pos(), "time.Now in a virtual-clock package: simulation time must come from the engine clock")
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (rand.New, rand.NewSource, rand.NewPCG, ...) build
+		// seeded sources and are fine; everything else draws from the
+		// package-global source.
+		if !strings.HasPrefix(name, "New") {
+			pass.Reportf(call.Pos(), "%s.%s uses the global rand source in a virtual-clock package: draw from a seeded *rand.Rand instead", pkg, name)
+		}
+	}
+}
+
+// checkMapRange flags nondeterministically ordered map iteration.
+func checkMapRange(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	if !analysis.IsMap(pass.Info, rng.X) {
+		return
+	}
+	if orderInsensitiveBody(pass.Info, rng.Body.List) {
+		return
+	}
+	if targets, ok := appendOnlyBody(pass.Info, rng.Body.List); ok && sortedAfter(pass.Info, fn, rng.End(), targets) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "range over map %s: iteration order is nondeterministic and can leak into digests/schedules/traces — iterate sorted keys instead", types.ExprString(rng.X))
+}
+
+// orderInsensitiveBody reports whether every statement commutes across
+// iterations: map index writes and deletes (distinct keys per iteration),
+// integer/bool counter updates, and continue. Floating-point accumulation is
+// deliberately not on the list — float addition does not commute bit-exactly.
+func orderInsensitiveBody(info *types.Info, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if !orderInsensitiveAssign(info, s) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			if !integerKind(analysis.BasicKind(info, s.X)) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !analysis.IsBuiltinCall(info, call, "delete") {
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveAssign(info *types.Info, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	if _, isIndex := s.Lhs[0].(*ast.IndexExpr); isIndex {
+		// m[k] = v / m[k] += v: one key per iteration, order-free as long as
+		// the indexed container is a map (slice writes at computed indexes
+		// would also be fine, but keep to the common case).
+		return analysis.IsMap(info, s.Lhs[0].(*ast.IndexExpr).X)
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return integerKind(analysis.BasicKind(info, s.Lhs[0]))
+	}
+	return false
+}
+
+func integerKind(k types.BasicKind) bool {
+	switch k {
+	case types.Int, types.Int8, types.Int16, types.Int32, types.Int64,
+		types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// appendOnlyBody reports whether the body only appends to local slices,
+// returning the rendered append targets.
+func appendOnlyBody(info *types.Info, stmts []ast.Stmt) (targets []string, ok bool) {
+	for _, s := range stmts {
+		as, isAssign := s.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+			return nil, false
+		}
+		call, isCall := as.Rhs[0].(*ast.CallExpr)
+		if !isCall || !analysis.IsBuiltinCall(info, call, "append") || len(call.Args) == 0 {
+			return nil, false
+		}
+		lhs := types.ExprString(as.Lhs[0])
+		if lhs != types.ExprString(call.Args[0]) {
+			return nil, false
+		}
+		targets = append(targets, lhs)
+	}
+	return targets, len(targets) > 0
+}
+
+// sortedAfter reports whether, after pos, fn calls into package sort or
+// slices with one of the append targets among the arguments — the
+// collect-then-sort idiom that launders map order away.
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, pos token.Pos, targets []string) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		pkg, _, ok := analysis.CalleePkgFunc(info, call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			a := types.ExprString(arg)
+			for _, t := range targets {
+				if a == t {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

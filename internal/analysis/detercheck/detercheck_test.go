@@ -1,0 +1,26 @@
+package detercheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"geompc/internal/analysis/checkertest"
+	"geompc/internal/analysis/detercheck"
+)
+
+func fixture(elem ...string) string {
+	return filepath.Join(append([]string{"..", "testdata", "src", "detercheck"}, elem...)...)
+}
+
+// TestRestricted runs the fixture as a virtual-clock package: map-order
+// leaks, time.Now and global rand are flagged; sorted collection,
+// commutative bodies, faults.go and seeded construction are not.
+func TestRestricted(t *testing.T) {
+	checkertest.Run(t, fixture("restricted"), "geompc/internal/runtime", detercheck.Analyzer)
+}
+
+// TestFree runs the same shapes as a package outside the deterministic set:
+// nothing is flagged.
+func TestFree(t *testing.T) {
+	checkertest.Run(t, fixture("free"), "geompc/internal/geo", detercheck.Analyzer)
+}

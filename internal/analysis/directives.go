@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive grammar. Two directives are recognized, both spelled with the
+// machine-directive comment form (no space after //, like //go:noinline):
+//
+//	//geompc:nolint <analyzer> <reason...>
+//	    Suppresses <analyzer>'s diagnostics on the directive's line — either
+//	    a trailing comment on the flagged line itself or a full-line comment
+//	    directly above it. The reason is mandatory; a bare suppression is
+//	    itself a diagnostic, as is naming an unknown analyzer or leaving a
+//	    directive in place once the diagnostic it suppressed is gone
+//	    (an "expired" suppression).
+//
+//	//geompc:hot
+//	    In a function's doc comment, opts the function into the hotalloc
+//	    analyzer's allocation checks.
+
+const (
+	nolintPrefix = "//geompc:nolint"
+	hotDirective = "//geompc:hot"
+)
+
+// Nolint is one parsed //geompc:nolint directive.
+type Nolint struct {
+	// Pos is the directive's own position (for meta-diagnostics).
+	Pos token.Pos
+	// Line is the source line the directive applies to: its own line for a
+	// trailing comment, the following line for a comment on its own line.
+	Line int
+	File string
+	// Analyzer is the first word after the directive ("" when absent).
+	Analyzer string
+	// Reason is everything after the analyzer name, trimmed.
+	Reason string
+	// used is set by the driver when the directive suppressed a diagnostic.
+	used bool
+}
+
+// parseNolints collects every nolint directive in the file, resolving each
+// to the line it governs. A comment group's position relative to the code on
+// its line decides trailing vs. standalone: a comment that starts a line
+// governs the next line, any other governs its own.
+func parseNolints(fset *token.FileSet, f *ast.File) []*Nolint {
+	var out []*Nolint
+	codeLines := codeEndLines(fset, f)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if text != nolintPrefix && !strings.HasPrefix(text, nolintPrefix+" ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			n := &Nolint{Pos: c.Pos(), Line: pos.Line, File: pos.Filename}
+			if !codeLines[pos.Line] {
+				// Full-line comment: governs the line below.
+				n.Line = pos.Line + 1
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, nolintPrefix))
+			if rest != "" {
+				fields := strings.SplitN(rest, " ", 2)
+				n.Analyzer = fields[0]
+				if len(fields) == 2 {
+					n.Reason = strings.TrimSpace(fields[1])
+				}
+			}
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// codeEndLines returns the set of lines on which some non-comment syntax
+// node ends — the lines where a comment can only be trailing code. One walk
+// per file, shared by every directive in it.
+func codeEndLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// HotFuncs returns every function declaration in the file whose doc comment
+// carries //geompc:hot.
+func HotFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" ") {
+				out = append(out, fd)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package analysis
+
+// The driver: runs a set of analyzers over loaded packages, applies
+// //geompc:nolint suppression, and turns directive misuse into diagnostics
+// of its own. Suppressions are deliberately strict — a suppression that
+// names no known analyzer, gives no reason, or no longer suppresses
+// anything is each reported, so the directive inventory can never rot.
+
+// NolintAnalyzerName is the pseudo-analyzer name under which the driver
+// reports directive misuse (unknown analyzer, missing reason, expired
+// suppression). It is a reserved name: nolint diagnostics cannot themselves
+// be suppressed.
+const NolintAnalyzerName = "nolint"
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics in stable (file, line, column) order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var nolints []*Nolint
+		for _, f := range pkg.Files {
+			nolints = append(nolints, parseNolints(pkg.Fset, f)...)
+		}
+
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+			a.Run(pass)
+			diags = append(diags, pass.diags...)
+		}
+
+		for _, d := range diags {
+			if !suppressed(d, nolints, known) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, directiveDiagnostics(pkg, nolints, known)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// suppressed reports whether a well-formed nolint directive covers d, and
+// marks the directive used. Malformed directives (unknown analyzer, missing
+// reason) never suppress: the code stays flagged until the directive is
+// fixed, so a typo cannot silently disable a check.
+func suppressed(d Diagnostic, nolints []*Nolint, known map[string]bool) bool {
+	for _, n := range nolints {
+		if n.File != d.Pos.Filename || n.Line != d.Pos.Line || n.Analyzer != d.Analyzer {
+			continue
+		}
+		if !known[n.Analyzer] || n.Reason == "" {
+			continue
+		}
+		n.used = true
+		return true
+	}
+	return false
+}
+
+// directiveDiagnostics reports misused nolint directives for one package.
+func directiveDiagnostics(pkg *Package, nolints []*Nolint, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(n *Nolint, format string, args ...any) {
+		p := &Pass{Analyzer: &Analyzer{Name: NolintAnalyzerName}, Fset: pkg.Fset}
+		p.Reportf(n.Pos, format, args...)
+		out = append(out, p.diags...)
+	}
+	for _, n := range nolints {
+		switch {
+		case n.Analyzer == "":
+			report(n, "//geompc:nolint needs an analyzer name and a reason")
+		case n.Analyzer == NolintAnalyzerName:
+			report(n, "nolint diagnostics cannot be suppressed")
+		case !known[n.Analyzer]:
+			report(n, "unknown analyzer %q in //geompc:nolint directive", n.Analyzer)
+		case n.Reason == "":
+			report(n, "//geompc:nolint %s is missing its mandatory reason", n.Analyzer)
+		case !n.used:
+			report(n, "expired //geompc:nolint: no %s diagnostic on this line — delete the directive", n.Analyzer)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+// Package hotalloc protects the allocation-free fast paths built in the
+// performance PRs — the event/ready heaps, the TaskSpec freelist, the dense
+// residency tables, the FP16 quantizer — from silent regression. A function
+// opts in by carrying //geompc:hot in its doc comment; inside it the
+// analyzer flags the expressions that heap-allocate (or may, once escape
+// analysis gives up):
+//
+//   - slice and map composite literals, and &T{} pointer literals
+//   - make and new
+//   - function literals (closures capture and escape)
+//   - append whose destination is not the slice being appended to — the
+//     self-append `s = append(s, x)` is the amortized-reuse idiom and is
+//     allowed, anything else copies or grows a fresh backing array
+//
+// The benchmarks in BENCH_kernels.json catch allocation regressions after
+// the fact; hotalloc catches them in review, and keeps working when a
+// benchmark's allocs/op happens to round to zero.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"geompc/internal/analysis"
+)
+
+// Analyzer is the hotalloc instance registered with the driver.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocating expressions inside functions marked //geompc:hot",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, fd := range analysis.HotFuncs(f) {
+			if fd.Body != nil {
+				checkHotFunc(pass, fd)
+			}
+		}
+	}
+}
+
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// selfAppends maps append CallExprs already vetted as self-appends by
+	// their enclosing assignment, so the expression walk skips them.
+	selfAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			markSelfAppends(pass.Info, n, selfAppend)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&%s{} allocates in //geompc:hot %s — reuse a freelist entry", litName(pass.Info, cl), name)
+					return false // don't double-report the inner literal
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.Info.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in //geompc:hot %s", name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in //geompc:hot %s", name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal in //geompc:hot %s — closures capture and escape", name)
+			return false
+		case *ast.CallExpr:
+			switch {
+			case analysis.IsBuiltinCall(pass.Info, n, "make"):
+				pass.Reportf(n.Pos(), "make allocates in //geompc:hot %s — preallocate in the cold setup path", name)
+			case analysis.IsBuiltinCall(pass.Info, n, "new"):
+				pass.Reportf(n.Pos(), "new allocates in //geompc:hot %s — reuse a freelist entry", name)
+			case analysis.IsBuiltinCall(pass.Info, n, "append") && !selfAppend[n]:
+				pass.Reportf(n.Pos(), "append to a different destination in //geompc:hot %s — only the amortized self-append s = append(s, x) is allocation-stable", name)
+			}
+		}
+		return true
+	})
+}
+
+// markSelfAppends records `x = append(x, ...)` (single assignment, plain =,
+// destination textually identical to the appendee) as the allowed idiom.
+func markSelfAppends(info *types.Info, as *ast.AssignStmt, selfAppend map[*ast.CallExpr]bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !analysis.IsBuiltinCall(info, call, "append") || len(call.Args) == 0 {
+		return
+	}
+	if types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+		selfAppend[call] = true
+	}
+}
+
+func litName(info *types.Info, cl *ast.CompositeLit) string {
+	if tv, ok := info.Types[cl]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "T"
+}

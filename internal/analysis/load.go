@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Name       string
+}
+
+// LoadPackages enumerates patterns with `go list` inside dir and returns one
+// type-checked Package per match, in import-path order. Only non-test Go
+// files are analyzed: the determinism and precision contracts bind
+// production code, and tests are where seeded randomness is deliberately
+// allowed. Type checking uses the source importer, so the loader needs no
+// export data and works in a cold build cache.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("go list %v: %v: %s", patterns, err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list %v: %v", patterns, err)
+	}
+
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if len(p.GoFiles) > 0 {
+			listed = append(listed, p)
+		}
+	}
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkgs := make([]*Package, 0, len(listed))
+	for _, lp := range listed {
+		var paths []string
+		for _, f := range lp.GoFiles {
+			paths = append(paths, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := checkFiles(fset, imp, lp.ImportPath, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks every .go file directly inside dir as one
+// package with the given import path. Used by the fixture runner
+// (checkertest) and the geompclint smoke test, where fixtures live under
+// testdata and are invisible to `go list`. The explicit import path matters:
+// analyzers scope themselves by package path (e.g. detercheck's
+// virtual-clock package set), so fixtures choose which regime they test by
+// the path they claim.
+func LoadDir(dir, importPath string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return checkFiles(fset, imp, importPath, matches)
+}
+
+// checkFiles parses and type-checks one package's files.
+func checkFiles(fset *token.FileSet, imp types.Importer, importPath string, paths []string) (*Package, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,17 @@
+package lockcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"geompc/internal/analysis/checkertest"
+	"geompc/internal/analysis/lockcheck"
+)
+
+// TestFixture covers bracketed pairs (deferred and straight-line), a
+// branch-only unlock, a missing unlock, an RLock/Unlock mismatch, the
+// nolint hand-off pattern, and mutex copies through interface boxing.
+func TestFixture(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "lockcheck")
+	checkertest.Run(t, dir, "geompc/internal/obs", lockcheck.Analyzer)
+}

@@ -1,0 +1,106 @@
+// Package preccast enforces the precision-safety contract: the Higham–Mary
+// rule (‖A_ij‖·NT/‖A‖ ≤ u_req/u_low) evaluated by the precision selector is
+// the *only* decision point allowed to lower precision, and the audited
+// conversion API — prec.Quantize and the internal/fp16 rounding kernels —
+// is the only code allowed to implement the lowering. These are the software
+// analogues of the paper's STC/TTC conversion points: every byte that moves
+// at reduced precision passes through them, which is what makes the error
+// accounting and the per-precision byte counters trustworthy.
+//
+// Outside the allowlisted packages (fp16, prec, linalg — the quantizing
+// kernels), the analyzer flags:
+//
+//   - lossy numeric conversions: float32(x) from a float64 expression, and
+//     uint16(x) from any float (the raw-FP16-bits smell). Constant
+//     conversions are exact at compile time and exempt.
+//
+//   - literal half-precision bit-twiddling: shifting or masking
+//     math.Float32bits results (>>16 BF16 truncation, mantissa masks for
+//     TF32/FP16) — rounding must come from fp16.BF16Round/TF32Round/Round.
+package preccast
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"geompc/internal/analysis"
+)
+
+// Analyzer is the preccast instance registered with the driver.
+var Analyzer = &analysis.Analyzer{
+	Name: "preccast",
+	Doc:  "flags lossy numeric down-casts and half-precision bit-twiddling outside the audited conversion API",
+	Run:  run,
+}
+
+// allowPkgs implement the audited conversion API (fp16, prec) or are its
+// quantizing consumers (the linalg mixed-precision kernels, whose packing
+// loops are the STC conversion points themselves).
+var allowPkgs = map[string]bool{
+	"fp16": true, "prec": true, "linalg": true,
+}
+
+func run(pass *analysis.Pass) {
+	if allowPkgs[analysis.PkgBase(pass)] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, n)
+			case *ast.BinaryExpr:
+				checkBitTwiddle(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkConversion flags float64→float32 and float→uint16 conversions.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	target, ok := analysis.IsConversion(pass.Info, call)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	if analysis.IsConstant(pass.Info, arg) {
+		return
+	}
+	tb, ok := target.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	from := analysis.BasicKind(pass.Info, arg)
+	switch tb.Kind() {
+	case types.Float32:
+		if from == types.Float64 {
+			pass.Reportf(call.Pos(), "lossy float64→float32 conversion outside the audited precision API — use prec.Quantize or an internal/fp16 rounding kernel (the STC/TTC conversion points)")
+		}
+	case types.Uint16:
+		if from == types.Float32 || from == types.Float64 {
+			pass.Reportf(call.Pos(), "float→uint16 conversion outside internal/fp16 — raw FP16/BF16 bit patterns must come from fp16.FromFloat32")
+		}
+	}
+}
+
+// checkBitTwiddle flags shift/mask arithmetic applied directly to
+// math.Float32bits results: `bits >> 16` is a literal BF16 truncation,
+// mantissa masks a literal TF32/FP16 round-to-zero.
+func checkBitTwiddle(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	switch bin.Op {
+	case token.SHR, token.AND, token.AND_NOT:
+	default:
+		return
+	}
+	call, ok := bin.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	pkg, name, ok := analysis.CalleePkgFunc(pass.Info, call)
+	if !ok || pkg != "math" || name != "Float32bits" {
+		return
+	}
+	pass.Reportf(bin.Pos(), "literal half-precision bit-twiddling on math.Float32bits — use fp16.BF16Round/TF32Round/FromFloat32 so the conversion stays audited")
+}

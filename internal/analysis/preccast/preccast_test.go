@@ -1,0 +1,25 @@
+package preccast_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"geompc/internal/analysis/checkertest"
+	"geompc/internal/analysis/preccast"
+)
+
+func fixture(elem ...string) string {
+	return filepath.Join(append([]string{"..", "testdata", "src", "preccast"}, elem...)...)
+}
+
+// TestOutside: in an unaudited package every lossy down-cast and
+// bit-twiddle is flagged; exact conversions and constants are not.
+func TestOutside(t *testing.T) {
+	checkertest.Run(t, fixture("outside"), "geompc/internal/mle", preccast.Analyzer)
+}
+
+// TestAudited: the same expressions inside the conversion API are the
+// implementation, not a violation.
+func TestAudited(t *testing.T) {
+	checkertest.Run(t, fixture("audited"), "geompc/internal/fp16", preccast.Analyzer)
+}

@@ -1,0 +1,63 @@
+// Fixture for hotalloc: only functions marked //geompc:hot are checked.
+package fixture
+
+type task struct {
+	id   int
+	deps []int
+}
+
+type pool struct {
+	free  []*task
+	items []task
+	index map[int]*task
+}
+
+// get pops from the freelist on the fast path.
+//
+//geompc:hot
+func (p *pool) get() *task {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		return t
+	}
+	return &task{} // want `&.*task{} allocates in //geompc:hot get`
+}
+
+// put returns a task to the freelist; the self-append is the amortized
+// idiom and stays unflagged.
+//
+//geompc:hot
+func (p *pool) put(t *task) {
+	p.free = append(p.free, t)
+}
+
+// regressions collects every allocation shape hotalloc guards against.
+//
+//geompc:hot
+func (p *pool) regressions(ids []int) []int {
+	buf := make([]int, 0, len(ids)) // want `make allocates in //geompc:hot regressions`
+	buf = append(buf, ids...)
+	out := append([]int{}, buf...)  // want `slice literal allocates` `append to a different destination`
+	m := map[int]bool{}             // want `map literal allocates`
+	t := new(task)                  // want `new allocates in //geompc:hot regressions`
+	f := func() int { return t.id } // want `func literal in //geompc:hot regressions`
+	_ = m
+	_ = f
+	// A plain struct value is a stack value, not an allocation.
+	p.items = append(p.items, task{id: 1})
+	return out
+}
+
+// preallocated demonstrates the suppression escape hatch for a deliberate
+// cold-path allocation inside a hot function.
+//
+//geompc:hot
+func (p *pool) preallocated(n int) {
+	p.index = make(map[int]*task, n) //geompc:nolint hotalloc one-time growth on the first call only
+}
+
+// cold is not marked hot: nothing is flagged.
+func (p *pool) cold() []*task {
+	return append([]*task{}, p.free...)
+}

@@ -1,0 +1,75 @@
+// Fixture for lockcheck (the analyzer is global, so the import path does
+// not matter).
+package fixture
+
+import (
+	"fmt"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type reader struct {
+	mu sync.RWMutex
+	v  float64
+}
+
+// bracketed pairs are fine: deferred, or straight-line in the same block.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) set(n int) {
+	c.mu.Lock()
+	c.n = n
+	c.mu.Unlock()
+}
+
+func (r *reader) get() float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// branchUnlock releases only on one path: flagged.
+func (c *counter) branchUnlock(ok bool) {
+	c.mu.Lock() // want `c\.mu\.Lock has no deferred or same-block Unlock`
+	if ok {
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// neverUnlocked has no release at all: flagged.
+func (c *counter) neverUnlocked() {
+	c.mu.Lock() // want `c\.mu\.Lock has no deferred or same-block Unlock`
+	c.n++
+}
+
+// mismatched releases the write lock for a read lock: flagged.
+func (r *reader) mismatched() float64 {
+	r.mu.RLock() // want `r\.mu\.RLock has no deferred or same-block RUnlock`
+	defer r.mu.Unlock()
+	return r.v
+}
+
+// suppressed hands the lock to a caller on purpose.
+func (c *counter) acquire() {
+	c.mu.Lock() //geompc:nolint lockcheck handed to the caller, released in release()
+}
+
+func (c *counter) release() {
+	c.mu.Unlock()
+}
+
+// boxed copies the mutex into fmt's variadic interface parameter: flagged.
+// Passing the pointer is fine.
+func (c *counter) boxed() {
+	fmt.Println(*c) // want `passing \*c by value copies its mutex`
+	fmt.Println(c)
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// Shared AST/type helpers the concrete analyzers lean on.
+
+// PkgBase returns the last element of the pass's package import path —
+// analyzers scope themselves by it ("runtime", "obs", "fp16", ...), which
+// works identically for the real tree (geompc/internal/runtime) and for
+// fixtures that claim a path under testdata.
+func PkgBase(p *Pass) string { return path.Base(p.Pkg.Path()) }
+
+// CalleePkgFunc resolves call's callee to a package-level function and
+// returns its package import path and name ("time", "Now"). ok is false for
+// method calls, builtins, conversions and locals.
+func CalleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	if _, isPkg := info.Uses[id].(*types.PkgName); !isPkg {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	if fn.Pkg() == nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// IsBuiltinCall reports whether call invokes the named builtin (append,
+// make, new, delete, ...).
+func IsBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// IsConversion reports whether call is a type conversion, returning the
+// target type.
+func IsConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// IsMap reports whether e's type is (or is named with underlying) a map.
+func IsMap(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// BasicKind returns e's basic-type kind after stripping names, or
+// types.Invalid when e is not of basic type.
+func BasicKind(info *types.Info, e ast.Expr) types.BasicKind {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return types.Invalid
+	}
+	b, isBasic := tv.Type.Underlying().(*types.Basic)
+	if !isBasic {
+		return types.Invalid
+	}
+	return b.Kind()
+}
+
+// IsConstant reports whether e is a compile-time constant expression (its
+// conversion is exact and deterministic, so precision checks skip it).
+func IsConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// MutexMethod resolves call to a method on sync.Mutex or sync.RWMutex
+// (including promoted embedded fields) and returns the method name and the
+// receiver expression as written ("e.mu"). ok is false otherwise.
+func MutexMethod(info *types.Info, call *ast.CallExpr) (recv string, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	rt := sig.Recv().Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// ContainsMutex reports whether a value of type t holds a sync.Mutex or
+// sync.RWMutex by value (directly, in a struct field, or in an array
+// element) — i.e. whether copying the value copies a lock.
+func ContainsMutex(t types.Type) bool {
+	return containsMutex(t, make(map[types.Type]bool))
+}
+
+func containsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+		return containsMutex(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), seen)
+	}
+	return false
+}

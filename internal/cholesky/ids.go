@@ -68,6 +68,8 @@ func pairIdx(m, k int) int { return m*(m-1)/2 + k }
 
 // unpair inverts pairIdx: returns (m, k) with k < m, where m is the largest
 // value with pyr[m] ≤ idx.
+//
+//geompc:hot
 func (s *ids) unpair(idx int) (m, k int) {
 	lo, hi := 1, s.nt
 	for lo < hi {
@@ -86,6 +88,8 @@ func c3(m int) int { return m * (m - 1) * (m - 2) / 6 }
 func tripleIdx(m, n, k int) int { return c3(m) + n*(n-1)/2 + k }
 
 // untriple inverts tripleIdx: returns (m, n, k) with k < n < m.
+//
+//geompc:hot
 func (s *ids) untriple(idx int) (m, n, k int) {
 	lo, hi := 2, s.nt
 	for lo < hi {
@@ -107,6 +111,8 @@ func (s ids) gemm(m, n, k int) int { return s.gemmBase + tripleIdx(m, n, k) }
 
 // decode returns the kind and coordinates of a task id. For POTRF only k is
 // meaningful; for TRSM/SYRK, (m, k); for GEMM, (m, n, k).
+//
+//geompc:hot
 func (s ids) decode(id int) (op, m, n, k int) {
 	switch {
 	case id < s.trsmBase:

@@ -23,10 +23,11 @@ func scratchCap(n int) int {
 
 var f32Pool = sync.Pool{New: func() any { s := make([]float32, 0, 4096); return &s }}
 
+//geompc:hot
 func f32Scratch(n int) []float32 {
 	p := f32Pool.Get().(*[]float32)
 	if cap(*p) < n {
-		*p = make([]float32, n, scratchCap(n))
+		*p = make([]float32, n, scratchCap(n)) //geompc:nolint hotalloc grows once to the next power of two, then the pooled buffer is reused
 	}
 	return (*p)[:n]
 }
@@ -38,10 +39,11 @@ func putF32(s []float32) {
 
 var halfPool = sync.Pool{New: func() any { s := make([]fp16.Half, 0, 4096); return &s }}
 
+//geompc:hot
 func halfScratch(n int) []fp16.Half {
 	p := halfPool.Get().(*[]fp16.Half)
 	if cap(*p) < n {
-		*p = make([]fp16.Half, n, scratchCap(n))
+		*p = make([]fp16.Half, n, scratchCap(n)) //geompc:nolint hotalloc grows once to the next power of two, then the pooled buffer is reused
 	}
 	return (*p)[:n]
 }
@@ -53,10 +55,11 @@ func putHalf(s []fp16.Half) {
 
 var f64Pool = sync.Pool{New: func() any { s := make([]float64, 0, 4096); return &s }}
 
+//geompc:hot
 func f64Scratch(n int) []float64 {
 	p := f64Pool.Get().(*[]float64)
 	if cap(*p) < n {
-		*p = make([]float64, n, scratchCap(n))
+		*p = make([]float64, n, scratchCap(n)) //geompc:nolint hotalloc grows once to the next power of two, then the pooled buffer is reused
 	}
 	return (*p)[:n]
 }

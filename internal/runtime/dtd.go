@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 
 	"geompc/internal/prec"
 )
@@ -132,9 +133,15 @@ func (g *DTDGraph) Insert(spec TaskSpec, accesses ...Access) (int, error) {
 		}
 	}
 
+	// Materialize the dependency set in sorted order: succs drive the
+	// ready-queue release order, so map iteration here would leak Go's map
+	// seed into the schedule digest.
 	t.preds = make([]int, 0, len(depSet))
 	for p := range depSet {
 		t.preds = append(t.preds, p)
+	}
+	sort.Ints(t.preds)
+	for _, p := range t.preds {
 		g.tasks[p].succs = append(g.tasks[p].succs, id)
 	}
 	g.tasks = append(g.tasks, t)
@@ -160,8 +167,16 @@ func (g *DTDGraph) Successors(id int, buf []int) []int {
 
 // InitialData implements Graph.
 func (g *DTDGraph) InitialData(visit func(d DataID, rank int)) {
-	for d, r := range g.initial {
-		visit(d, r)
+	// Visit in DataID order: the engine seeds host availability and
+	// residency from this walk, and callbacks must not observe Go's map
+	// iteration order.
+	ids := make([]DataID, 0, len(g.initial))
+	for d := range g.initial {
+		ids = append(ids, d)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, d := range ids {
+		visit(d, g.initial[d])
 	}
 }
 

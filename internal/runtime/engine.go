@@ -247,12 +247,16 @@ func (e *Engine) Run() (Stats, error) {
 	return e.stats, nil
 }
 
+// enqueueReady materializes task id's spec from the freelist and pushes it
+// onto its (possibly re-placed) device's ready queue.
+//
+//geompc:hot
 func (e *Engine) enqueueReady(id int) int {
 	spec := e.takeSpec()
 	e.g.Spec(id, spec)
 	spec.ID = id
 	if spec.Device < 0 || spec.Device >= len(e.devices) {
-		e.fail(&GraphError{Task: id, Msg: fmt.Sprintf("assigned to invalid device %d", spec.Device)})
+		e.fail(&GraphError{Task: id, Msg: fmt.Sprintf("assigned to invalid device %d", spec.Device)}) //geompc:nolint hotalloc cold malformed-graph path, run ends here
 		e.specFree = append(e.specFree, spec)
 		return 0
 	}
@@ -470,6 +474,8 @@ func (e *Engine) drainWritebacks(d *device, sink *evictSink) {
 // body's goroutine closes the channel. Virtual completion order therefore
 // bounds real dataflow order — successors never read a tile whose producer
 // body is still running, regardless of GOMAXPROCS.
+//
+//geompc:hot
 func (e *Engine) complete(ev *event) {
 	spec := ev.spec
 	d := e.devices[spec.Device]
@@ -527,7 +533,7 @@ func (e *Engine) complete(ev *event) {
 				e.dirtyDevs = append(e.dirtyDevs, dev)
 			}
 		case e.pending[s] < 0:
-			e.fail(&GraphError{Task: s, Msg: "released more than its in-degree"})
+			e.fail(&GraphError{Task: s, Msg: "released more than its in-degree"}) //geompc:nolint hotalloc cold malformed-graph path, run ends here
 			return
 		}
 	}

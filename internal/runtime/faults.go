@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -291,7 +292,16 @@ func parseKV(s string) (kvPairs, error) {
 // unknown keys, non-integral values for int destinations, and missing
 // required keys.
 func (kv kvPairs) fill(floats map[string]*float64, ints map[string]*int, required ...string) error {
-	for key, v := range kv {
+	// Walk keys in sorted order so which unknown or malformed key gets
+	// reported does not depend on map iteration order — fault-spec parse
+	// errors are asserted verbatim by tests and must be stable.
+	keys := make([]string, 0, len(kv))
+	for key := range kv {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		v := kv[key]
 		if dst, ok := floats[key]; ok {
 			*dst = v
 			continue

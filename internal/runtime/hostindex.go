@@ -13,6 +13,7 @@ type hostKey struct {
 // copy; availability times are always ≥ 0.
 const hostAbsent = -1.0
 
+//geompc:hot
 func (e *Engine) setHostAvail(rank int, d DataID, at float64) {
 	if e.hostDense != nil {
 		e.hostDense[rank*e.hostBound+int(d)] = at
@@ -21,6 +22,7 @@ func (e *Engine) setHostAvail(rank int, d DataID, at float64) {
 	e.hostAvail[hostKey{rank, d}] = at
 }
 
+//geompc:hot
 func (e *Engine) lookupHostAvail(rank int, d DataID) (float64, bool) {
 	if e.hostDense != nil {
 		v := e.hostDense[rank*e.hostBound+int(d)]

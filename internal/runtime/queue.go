@@ -29,8 +29,12 @@ func eventBefore(a, b *event) bool {
 	return a.seq < b.seq
 }
 
+// pushEvent sifts a completion event into the heap.
+//
+//geompc:hot
 func (e *Engine) pushEvent(ev event) {
-	h := append(e.events, ev)
+	e.events = append(e.events, ev)
+	h := e.events
 	for i := len(h) - 1; i > 0; {
 		p := (i - 1) / 2
 		if !eventBefore(&h[i], &h[p]) {
@@ -39,9 +43,11 @@ func (e *Engine) pushEvent(ev event) {
 		h[i], h[p] = h[p], h[i]
 		i = p
 	}
-	e.events = h
 }
 
+// popEvent removes the earliest completion event.
+//
+//geompc:hot
 func (e *Engine) popEvent() event {
 	h := e.events
 	top := h[0]
@@ -100,6 +106,9 @@ func (o *heapOrder) key(t *TaskSpec) sched.Key {
 	return k
 }
 
+// before is the comparator every sift step routes through.
+//
+//geompc:hot
 func (o *heapOrder) before(a, b *TaskSpec) bool {
 	if o.fifo {
 		if a.Priority != b.Priority {
@@ -120,8 +129,12 @@ type taskHeap struct {
 
 func (h *taskHeap) Len() int { return len(h.items) }
 
+// push sifts a ready task into the device's queue.
+//
+//geompc:hot
 func (h *taskHeap) push(t *TaskSpec) {
-	s := append(h.items, t)
+	h.items = append(h.items, t)
+	s := h.items
 	for i := len(s) - 1; i > 0; {
 		p := (i - 1) / 2
 		if !h.ord.before(s[i], s[p]) {
@@ -130,9 +143,11 @@ func (h *taskHeap) push(t *TaskSpec) {
 		s[i], s[p] = s[p], s[i]
 		i = p
 	}
-	h.items = s
 }
 
+// pop removes the policy-first ready task.
+//
+//geompc:hot
 func (h *taskHeap) pop() *TaskSpec {
 	s := h.items
 	top := s[0]

@@ -81,13 +81,15 @@ func (e *Engine) applyFault(f *FaultEvent) {
 }
 
 // takeSpec fetches a TaskSpec from the freelist (or allocates one).
+//
+//geompc:hot
 func (e *Engine) takeSpec() *TaskSpec {
 	if n := len(e.specFree); n > 0 {
 		spec := e.specFree[n-1]
 		e.specFree = e.specFree[:n-1]
 		return spec
 	}
-	return &TaskSpec{}
+	return &TaskSpec{} //geompc:nolint hotalloc freelist warm-up: allocates only until the steady-state population exists
 }
 
 // failoverKey picks the deterministic re-placement key for a task: its
