@@ -14,6 +14,7 @@
 //	ablation -probe [-probe-n 400]
 //	ablation -chaos [-chaos-gpus 3]     # MP vs FP64 resilience overhead
 //	ablation -sched [-sched-ranks 4]    # scheduling policies + broadcast topologies
+//	ablation -plan [-plan-evals 8]      # compiled-plan cache vs fresh simulation
 package main
 
 import (
@@ -43,18 +44,20 @@ func run(args []string, out io.Writer) error {
 	tlrFlag := fs.Bool("tlr", false, "tile low-rank + mixed precision storage study (§VIII future work)")
 	chaos := fs.Bool("chaos", false, "resilience overhead of each precision configuration under an identical fault plan")
 	schedFlag := fs.Bool("sched", false, "scheduling-policy and broadcast-topology sweep on the Fig 11 workload")
+	planFlag := fs.Bool("plan", false, "compiled-plan cache vs fresh simulation on a repeated (MLE-shaped) loop")
 	n := fs.Int("n", 65536, "matrix size for -banded/-lookahead/-chaos/-sched")
 	probeN := fs.Int("probe-n", 400, "locations for -probe")
 	ts := fs.Int("ts", 2048, "tile size")
 	chaosGPUs := fs.Int("chaos-gpus", 3, "GPUs for -chaos (>=2: the plan kills one)")
 	chaosFaults := fs.String("chaos-faults", "", "fault plan for -chaos (default: derived kill+flaky+slow, scaled per config)")
 	schedRanks := fs.Int("sched-ranks", 4, "ranks for the -sched broadcast-topology sweep")
+	planEvals := fs.Int("plan-evals", 8, "evaluations in the -plan repeated loop")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if !*banded && !*lookahead && !*probe && !*tlrFlag && !*chaos && !*schedFlag {
-		*banded, *lookahead, *probe, *tlrFlag, *chaos, *schedFlag = true, true, true, true, true, true
+	if !*banded && !*lookahead && !*probe && !*tlrFlag && !*chaos && !*schedFlag && !*planFlag {
+		*banded, *lookahead, *probe, *tlrFlag, *chaos, *schedFlag, *planFlag = true, true, true, true, true, true, true
 	}
 
 	if *banded {
@@ -143,6 +146,21 @@ func run(args []string, out io.Writer) error {
 			bt.Add(r.Topology, r.Time, r.Energy, bench.HumanBytes(r.BytesNet))
 		}
 		bt.Write(out)
+	}
+
+	if *planFlag {
+		rows, err := bench.PlanAblation(*n, *ts, *planEvals, hw.SummitNode)
+		if err != nil {
+			return err
+		}
+		t := bench.NewTable(
+			fmt.Sprintf("compiled-plan cache: %d-evaluation repeated loop (FP64/FP16_32 Auto, N=%d, V100)", *planEvals, *n),
+			"variant", "wall(s)", "speedup", "hits", "misses", "invalidations")
+		for _, r := range rows {
+			t.Add(r.Variant, fmt.Sprintf("%.4f", r.Wall), fmt.Sprintf("%.2fx", r.Speedup),
+				r.Hits, r.Misses, r.Invalidations)
+		}
+		t.Write(out)
 	}
 
 	if *probe {

@@ -53,3 +53,16 @@ func TestRunChaosSingleGPU(t *testing.T) {
 		t.Fatal("single-GPU chaos must fail (no failover target)")
 	}
 }
+
+func TestRunPlanSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-plan", "-n", "16384", "-plan-evals", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"compiled-plan cache", "plan-cache", "fresh"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -53,6 +53,7 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	seedPath := fs.String("seed", "", "baseline `file` of go test -bench output (the before numbers)")
+	allowMissing := fs.Bool("allow-missing", false, "tolerate seed benchmarks absent from the current run instead of failing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +77,21 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	if len(after) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin")
+	}
+
+	// A seed series missing from the current run would silently vanish from
+	// the artifact — the series' history would end without a trace. Fail
+	// loudly instead (new benchmarks absent from the seed are fine: they
+	// start a series).
+	var missing []string
+	for _, name := range sortedKeys(seed) {
+		if _, ok := after[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 && !*allowMissing {
+		return fmt.Errorf("seed benchmark(s) missing from this run: %s (renamed or not run? pass -allow-missing to drop the series deliberately)",
+			strings.Join(missing, ", "))
 	}
 
 	rep := report{Goos: meta["goos"], Goarch: meta["goarch"], CPU: meta["cpu"], Seed: *seedPath}

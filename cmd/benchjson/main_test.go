@@ -3,9 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
 
 const benchOutput = `goos: linux
 goarch: amd64
@@ -35,5 +40,69 @@ func TestRunSmoke(t *testing.T) {
 func TestRunEmptyInput(t *testing.T) {
 	if err := run(nil, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}); err == nil {
 		t.Fatal("empty bench input must fail")
+	}
+}
+
+// TestSeedSeriesMissingFailsLoudly: a benchmark present in the seed but
+// absent from the current run used to vanish silently from the artifact;
+// now it is an error unless -allow-missing is passed.
+func TestSeedSeriesMissingFailsLoudly(t *testing.T) {
+	seed := t.TempDir() + "/seed.txt"
+	if err := writeFile(seed, benchOutput+"BenchmarkGone-8  10  999 ns/op  0 B/op  0 allocs/op\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	err := run([]string{"-seed", seed}, strings.NewReader(benchOutput), &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("missing seed series must fail")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Fatalf("error does not name the missing series: %v", err)
+	}
+
+	// The override keeps the old drop-the-series behavior, deliberately.
+	var out bytes.Buffer
+	if err := run([]string{"-seed", seed, "-allow-missing"}, strings.NewReader(benchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Name == "BenchmarkGone" {
+			t.Fatal("-allow-missing must drop the series, not resurrect it")
+		}
+	}
+}
+
+// TestNewBenchmarkStartsSeries: benchmarks absent from the seed join the
+// artifact without before/speedup fields and without erroring — how new
+// series (e.g. PlanAblationMLE*) enter BENCH_kernels.json.
+func TestNewBenchmarkStartsSeries(t *testing.T) {
+	seed := t.TempDir() + "/seed.txt"
+	if err := writeFile(seed, benchOutput); err != nil {
+		t.Fatal(err)
+	}
+	in := benchOutput + "BenchmarkNewSeries-8  10  500 ns/op  0 B/op  0 allocs/op\n"
+	var out bytes.Buffer
+	if err := run([]string{"-seed", seed}, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range rep.Benchmarks {
+		if b.Name == "BenchmarkNewSeries" {
+			found = true
+			if b.Before != nil || b.Speedup != 0 {
+				t.Fatalf("new series must have no baseline: %+v", b)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("new benchmark missing from the report")
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"geompc/internal/bench"
 	"geompc/internal/hw"
+	planpkg "geompc/internal/plan"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func run(args []string, out io.Writer) error {
 	faults := fs.String("faults", "", "fault plan injected into every run (see runtime.ParseFaultSpec)")
 	schedFlag := fs.String("sched", "", "scheduling policy: fifo (default), locality, cp")
 	bcast := fs.String("bcast", "", "broadcast topology: binomial (default), flat, chain")
+	planCache := fs.Bool("plan-cache", false, "route every run through a compiled-plan cache and print the hit/miss/invalidation counters")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,10 +74,18 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	rows, err := bench.ConvSweepOpts(nd, 1, g, sizes, *ts, *faults,
-		bench.SchedOpts{Policy: *schedFlag, Bcast: *bcast})
-	if err != nil {
-		return err
+	so := bench.SchedOpts{Policy: *schedFlag, Bcast: *bcast}
+	var cache *planpkg.Cache
+	var rows []bench.ConvRow
+	var err2 error
+	if *planCache {
+		cache = planpkg.NewCache(nil)
+		rows, err2 = bench.ConvSweepCached(nd, 1, g, sizes, *ts, *faults, so, cache)
+	} else {
+		rows, err2 = bench.ConvSweepOpts(nd, 1, g, sizes, *ts, *faults, so)
+	}
+	if err2 != nil {
+		return err2
 	}
 	fig := "Fig 8"
 	if g > 1 {
@@ -110,5 +120,10 @@ func run(args []string, out io.Writer) error {
 		st.Add(cfg.Name, m["STC"]/m["TTC"])
 	}
 	st.Write(out)
+	if cache != nil {
+		s := cache.Stats()
+		fmt.Fprintf(out, "\nplan cache: %d hit(s), %d miss(es), %d invalidation(s) dirtying %d task(s), %d bypass(es)\n",
+			s.Hits, s.Misses, s.Invalidations, s.TasksInvalidated, s.Bypasses)
+	}
 	return nil
 }

@@ -24,3 +24,13 @@ func TestRunBadMachine(t *testing.T) {
 		t.Fatal("unknown machine must fail")
 	}
 }
+
+func TestRunPlanCacheSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-machine", "Summit", "-gpus", "1", "-sizes", "8192", "-plan-cache"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "plan cache:") {
+		t.Errorf("missing plan-cache counters:\n%s", out.String())
+	}
+}

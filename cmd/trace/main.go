@@ -20,6 +20,7 @@ import (
 	"geompc/internal/bench"
 	"geompc/internal/cholesky"
 	"geompc/internal/hw"
+	planpkg "geompc/internal/plan"
 	"geompc/internal/prec"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
@@ -45,12 +46,16 @@ func run(args []string, out io.Writer) error {
 	faults := fs.String("faults", "", "deterministic fault plan (e.g. 'kill:dev=1,at=0.004;slow:dev=0,from=0,to=0.01,x=4')")
 	schedFlag := fs.String("sched", "", "scheduling policy: fifo (default), locality, cp")
 	bcast := fs.String("bcast", "", "broadcast topology: binomial (default), flat, chain")
+	planCache := fs.Bool("plan-cache", false, "run twice through a compiled-plan cache (compile, then replay) and print the cache counters; the replayed digest must equal the compiled one")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	pol, topo, err := bench.SchedOpts{Policy: *schedFlag, Bcast: *bcast}.Resolve()
 	if err != nil {
 		return err
+	}
+	if *planCache && *chrome != "" {
+		return fmt.Errorf("-chrome needs a live run's interval traces; drop -plan-cache")
 	}
 
 	d, err := tile.NewDesc(*nt**ts, *ts, 1, 1)
@@ -70,12 +75,29 @@ func run(args []string, out io.Writer) error {
 		}
 		injector = plan
 	}
-	res, err := cholesky.Run(cholesky.Config{
+	cfg := cholesky.Config{
 		Desc: d, Maps: maps, Platform: plat, Trace: true, Audit: *audit, Faults: injector,
 		Sched: pol, Bcast: topo,
-	})
+	}
+	var cache *planpkg.Cache
+	if *planCache {
+		cache = planpkg.NewCache(nil)
+	}
+	res, err := cholesky.RunCached(cfg, cache)
 	if err != nil {
 		return err
+	}
+	if cache != nil {
+		// Second run of the identical shape: a replay when the first run
+		// compiled, a second live run when faults forced a bypass.
+		rep, err := cholesky.RunCached(cfg, cache)
+		if err != nil {
+			return err
+		}
+		if rep.Digest() != res.Digest() {
+			return fmt.Errorf("plan-cache replay digest %016x != compiled %016x", rep.Digest(), res.Digest())
+		}
+		res = rep
 	}
 	sched := res.Schedule(*nt)
 	fmt.Fprintf(out, "simulated schedule, NT=%d, %d V100s (FP64 diagonal / FP16_32 off-diagonal):\n\n", *nt, *gpus)
@@ -113,6 +135,11 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "chrome trace written to %s (open in ui.perfetto.dev or chrome://tracing)\n", *chrome)
+	}
+	if cache != nil {
+		s := cache.Stats()
+		fmt.Fprintf(out, "plan cache: %d hit(s), %d miss(es), %d invalidation(s), %d bypass(es); replay digest verified\n",
+			s.Hits, s.Misses, s.Invalidations, s.Bypasses)
 	}
 	if *metrics {
 		fmt.Fprintln(out, "\nmetrics:")

@@ -38,3 +38,30 @@ func TestRunBadFaultSpec(t *testing.T) {
 		t.Fatal("out-of-range fault device must fail")
 	}
 }
+
+func TestRunPlanCacheSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nt", "4", "-gpus", "2", "-plan-cache"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "plan cache: 1 hit(s), 1 miss(es)") {
+		t.Errorf("missing plan-cache counters:\n%s", out.String())
+	}
+}
+
+func TestRunPlanCacheFaultsBypass(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-nt", "5", "-gpus", "3", "-plan-cache", "-faults", "kill:dev=1,at=0.0001"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 bypass(es)") {
+		t.Errorf("armed run must bypass the cache twice:\n%s", out.String())
+	}
+}
+
+func TestRunPlanCacheRefusesChrome(t *testing.T) {
+	if err := run([]string{"-plan-cache", "-chrome", "/dev/null"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-plan-cache with -chrome must fail")
+	}
+}

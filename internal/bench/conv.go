@@ -5,6 +5,7 @@ import (
 
 	"geompc/internal/cholesky"
 	"geompc/internal/hw"
+	planpkg "geompc/internal/plan"
 	"geompc/internal/prec"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
@@ -73,6 +74,12 @@ func ConvSweepFaults(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts 
 // scheduling policy and broadcast topology (zero SchedOpts = historical
 // FIFO + binomial).
 func ConvSweepOpts(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int, faultSpec string, so SchedOpts) ([]ConvRow, error) {
+	return convSweep(node, ranks, gpusPerRank, sizes, ts, faultSpec, so, nil)
+}
+
+// convSweep is the shared sweep body; a non-nil cache routes every run
+// through cholesky.RunCached (see ConvSweepCached).
+func convSweep(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int, faultSpec string, so SchedOpts, cache *planpkg.Cache) ([]ConvRow, error) {
 	pol, topo, err := so.Resolve()
 	if err != nil {
 		return nil, err
@@ -83,11 +90,11 @@ func ConvSweepOpts(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts in
 	}
 	var faults runtime.FaultInjector
 	if faultSpec != "" {
-		plan, err := runtime.ParseFaultSpec(faultSpec, plat.NumDevices())
+		fp, err := runtime.ParseFaultSpec(faultSpec, plat.NumDevices())
 		if err != nil {
 			return nil, err
 		}
-		faults = plan
+		faults = fp
 	}
 	var rows []ConvRow
 	for _, cfg := range ConvConfigs() {
@@ -105,10 +112,10 @@ func ConvSweepOpts(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts in
 					return nil, err
 				}
 				maps := precmap.New(cfg.KernelMap(desc.NT), 1e-2)
-				res, err := cholesky.Run(cholesky.Config{
+				res, err := cholesky.RunCached(cholesky.Config{
 					Desc: desc, Maps: maps, Platform: plat, Strategy: strat,
 					Faults: faults, Sched: pol, Bcast: topo,
-				})
+				}, cache)
 				if err != nil {
 					return nil, fmt.Errorf("bench: %s %v n=%d: %w", cfg.Name, strat, n, err)
 				}

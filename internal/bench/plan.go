@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"geompc/internal/cholesky"
+	"geompc/internal/hw"
+	planpkg "geompc/internal/plan"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/tile"
+)
+
+// PlanRow is one line of the plan-cache ablation: the wall-clock of a
+// k-evaluation repeated-factorization loop (the MLE inner loop's shape),
+// fresh vs plan-cached.
+type PlanRow struct {
+	Variant string
+	Evals   int
+	// Wall is host wall-clock seconds for the whole loop (this is a real
+	// measurement of the simulator itself, not simulated time).
+	Wall float64
+	// Speedup of this variant over the fresh loop (fresh = 1).
+	Speedup float64
+	// Cache counter snapshot after the loop (zero for the fresh variant).
+	Hits, Misses, Invalidations int64
+}
+
+// PlanAblation measures what the compiled-plan cache buys a repeated
+// workload: the fresh loop pays k full discrete-event simulations, the
+// cached loop pays one compile plus k−1 replays — O(1×schedule +
+// k×numerics). Phantom mode (no numeric bodies) isolates the scheduling
+// cost itself. The two loops must agree on every schedule digest; a
+// mismatch is returned as an error, making the ablation double as a
+// self-check.
+func PlanAblation(n, ts, k int, node *hw.NodeSpec) ([]PlanRow, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("bench: plan ablation needs k >= 2 evaluations, got %d", k)
+	}
+	plat, err := runtime.NewPlatform(node, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	desc, err := tile.NewDesc(n, ts, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	maps := precmap.New(ConvConfig{OffDiag: prec.FP16x32}.KernelMap(desc.NT), 1e-4)
+	cfg := cholesky.Config{Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto}
+
+	var freshDigest uint64
+	start := time.Now()
+	for i := 0; i < k; i++ {
+		res, err := cholesky.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: plan ablation fresh eval %d: %w", i, err)
+		}
+		freshDigest = res.Digest()
+	}
+	freshWall := time.Since(start).Seconds()
+
+	cache := planpkg.NewCache(nil)
+	start = time.Now()
+	for i := 0; i < k; i++ {
+		res, err := cholesky.RunCached(cfg, cache)
+		if err != nil {
+			return nil, fmt.Errorf("bench: plan ablation cached eval %d: %w", i, err)
+		}
+		if res.Digest() != freshDigest {
+			return nil, fmt.Errorf("bench: plan ablation: cached digest %016x != fresh %016x at eval %d",
+				res.Digest(), freshDigest, i)
+		}
+	}
+	cachedWall := time.Since(start).Seconds()
+
+	s := cache.Stats()
+	return []PlanRow{
+		{Variant: "fresh", Evals: k, Wall: freshWall, Speedup: 1},
+		{
+			Variant: "plan-cache", Evals: k, Wall: cachedWall,
+			Speedup: freshWall / cachedWall,
+			Hits:    s.Hits, Misses: s.Misses, Invalidations: s.Invalidations,
+		},
+	}, nil
+}
+
+// ConvSweepCached is ConvSweepOpts routed through a compiled-plan cache.
+// The sweep alternates precision maps over a handful of schedule shapes
+// (strategy × size), so with one plan slot per shape it exercises the
+// invalidation path far more than the replay path — every run either
+// misses, replays, or measures a dirty closure and recompiles, and the
+// cache counters expose that mix (the convbench -plan-cache mode prints
+// them). Armed fault plans bypass the cache per run. Rows are identical to
+// a fresh sweep's — the cache never changes results, only how they are
+// obtained.
+func ConvSweepCached(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int, faultSpec string, so SchedOpts, cache *planpkg.Cache) ([]ConvRow, error) {
+	return convSweep(node, ranks, gpusPerRank, sizes, ts, faultSpec, so, cache)
+}

@@ -61,25 +61,47 @@ type Result struct {
 	// success or in phantom mode.
 	Err error
 
-	engine *runtime.Engine
+	// Exactly one of the two is set: engine for live runs, the frozen
+	// plan-backed state (schedule + compile-time metrics) for results
+	// served by the plan cache (see RunCached).
+	engine   *runtime.Engine
+	schedule []runtime.ScheduledTask
+	metrics  *obs.Registry
 }
 
 // DeviceTrace exposes the busy/transfer interval traces of device i
-// recorded during a Trace-enabled run.
+// recorded during a Trace-enabled run. Plan-backed results carry no
+// interval traces and return nil slices.
 func (r *Result) DeviceTrace(i int) (busy, xfer []runtime.Interval) {
+	if r.engine == nil {
+		return nil, nil
+	}
 	return r.engine.DeviceTrace(i)
 }
 
 // Digest returns the run's schedule digest (see runtime.Stats.ScheduleDigest).
 func (r *Result) Digest() uint64 { return r.Stats.ScheduleDigest }
 
-// Metrics returns the engine's metrics registry for this run.
-func (r *Result) Metrics() *obs.Registry { return r.engine.Metrics() }
+// Metrics returns the engine's metrics registry for this run. Plan-backed
+// results return the compile run's frozen registry.
+func (r *Result) Metrics() *obs.Registry {
+	if r.engine == nil {
+		if r.metrics == nil {
+			return obs.NewRegistry()
+		}
+		return r.metrics
+	}
+	return r.engine.Metrics()
+}
 
 // WriteChromeTrace renders the run's timeline as Chrome trace-event JSON.
 // nt, when positive, labels kernel spans in the paper's task notation
 // (only meaningful for Run results; pass 0 for RunDTD's insertion ids).
+// Plan-backed results carry no interval traces and return an error.
 func (r *Result) WriteChromeTrace(w io.Writer, nt int) error {
+	if r.engine == nil {
+		return fmt.Errorf("cholesky: chrome traces need a live run (plan-backed result)")
+	}
 	var name func(id int) string
 	if nt > 0 {
 		name = func(id int) string { return TaskName(nt, id) }
@@ -91,6 +113,36 @@ func (r *Result) WriteChromeTrace(w io.Writer, nt int) error {
 // and returns its simulated statistics (and, in numeric mode, leaves the
 // factor L in cfg.Matrix's lower tiles).
 func Run(cfg Config) (*Result, error) {
+	g, err := newGraph(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := runtime.New(cfg.Platform, g)
+	eng.Trace = cfg.Trace
+	eng.Audit = cfg.Audit
+	eng.Inject(cfg.Faults)
+	eng.Policy = cfg.Sched
+	eng.Bcast = cfg.Bcast
+	if cfg.Lookahead > 0 {
+		eng.Lookahead = cfg.Lookahead
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Stats:    stats,
+		Strategy: cfg.Strategy,
+		Err:      g.Err(),
+		engine:   eng,
+	}
+	res.countConversions(cfg)
+	return res, nil
+}
+
+// newGraph validates cfg and builds the PTG task graph of one
+// factorization (shared by Run and the plan front-end).
+func newGraph(cfg Config) (*graph, error) {
 	if cfg.Platform == nil {
 		return nil, fmt.Errorf("cholesky: nil platform")
 	}
@@ -112,31 +164,16 @@ func Run(cfg Config) (*Result, error) {
 	if g.mat != nil {
 		g.wire = make([][]float64, cfg.Desc.NT*(cfg.Desc.NT+1)/2)
 	}
-	eng := runtime.New(cfg.Platform, g)
-	eng.Trace = cfg.Trace
-	eng.Audit = cfg.Audit
-	eng.Inject(cfg.Faults)
-	eng.Policy = cfg.Sched
-	eng.Bcast = cfg.Bcast
-	if cfg.Lookahead > 0 {
-		eng.Lookahead = cfg.Lookahead
-	}
-	stats, err := eng.Run()
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Stats:    stats,
-		Strategy: cfg.Strategy,
-		Err:      g.Err(),
-		engine:   eng,
-	}
+	return g, nil
+}
+
+// countConversions fills the STC/TTC task counters from the maps.
+func (r *Result) countConversions(cfg Config) {
 	if cfg.Strategy == ForceTTC {
-		_, res.CommTasks = cfg.Maps.STCCount()
+		_, r.CommTasks = cfg.Maps.STCCount()
 	} else {
-		res.STCTasks, res.CommTasks = cfg.Maps.STCCount()
+		r.STCTasks, r.CommTasks = cfg.Maps.STCCount()
 	}
-	return res, nil
 }
 
 // TheoreticalFlops returns the flop count of an N×N Cholesky, N³/3.
@@ -167,7 +204,10 @@ func TaskName(nt, id int) string {
 // Labels are only meaningful for Run (PTG ids); RunDTD results use
 // insertion-order ids and should not be passed here.
 func (r *Result) Schedule(nt int) []ScheduledTask {
-	raw := r.engine.ScheduleTrace()
+	raw := r.schedule
+	if r.engine != nil {
+		raw = r.engine.ScheduleTrace()
+	}
 	out := make([]ScheduledTask, len(raw))
 	for i, t := range raw {
 		out[i] = ScheduledTask{

@@ -1,8 +1,6 @@
 package cholesky
 
 import (
-	"fmt"
-
 	"geompc/internal/runtime"
 )
 
@@ -16,26 +14,41 @@ import (
 // property the test suite asserts. This mirrors PaRSEC offering PTG and DTD
 // as interchangeable DSLs over one runtime (§III-B).
 func RunDTD(cfg Config) (*Result, error) {
-	if cfg.Platform == nil {
-		return nil, fmt.Errorf("cholesky: nil platform")
-	}
-	if cfg.Maps == nil {
-		return nil, fmt.Errorf("cholesky: nil precision maps")
-	}
-	g := &graph{
-		ids:      newIDs(cfg.Desc.NT),
-		desc:     cfg.Desc,
-		maps:     cfg.Maps,
-		plat:     cfg.Platform,
-		strat:    cfg.Strategy,
-		mat:      cfg.Matrix,
-		rankSeen: make([]int64, cfg.Platform.Ranks),
-	}
-	if err := g.validate(); err != nil {
+	g, dtd, err := buildDTD(cfg)
+	if err != nil {
 		return nil, err
 	}
-	if g.mat != nil {
-		g.wire = make([][]float64, cfg.Desc.NT*(cfg.Desc.NT+1)/2)
+	eng := runtime.New(cfg.Platform, dtd)
+	eng.Trace = cfg.Trace
+	eng.Audit = cfg.Audit
+	eng.Inject(cfg.Faults)
+	eng.Policy = cfg.Sched
+	eng.Bcast = cfg.Bcast
+	if cfg.Lookahead > 0 {
+		eng.Lookahead = cfg.Lookahead
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Stats:    stats,
+		Strategy: cfg.Strategy,
+		Err:      g.Err(),
+		engine:   eng,
+	}
+	res.countConversions(cfg)
+	return res, nil
+}
+
+// buildDTD rebuilds the factorization as a Dynamic Task Discovery graph:
+// tasks inserted in Algorithm 1 order with inferred edges. The insertion is
+// deterministic, so a plan compiled from one buildDTD replays correctly
+// against a fresh one (insertion ids coincide).
+func buildDTD(cfg Config) (*graph, *runtime.DTDGraph, error) {
+	g, err := newGraph(cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	dtd := runtime.NewDTDGraph()
@@ -67,50 +80,26 @@ func RunDTD(cfg Config) (*Result, error) {
 	// Algorithm 1, inserted sequentially.
 	for k := 0; k < nt; k++ {
 		if err := insert(g.potrf(k)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for m := k + 1; m < nt; m++ {
 			if err := insert(g.trsm(m, k)); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		for m := k + 1; m < nt; m++ {
 			if err := insert(g.syrk(m, k)); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		for m := k + 2; m < nt; m++ {
 			for n := k + 1; n < m; n++ {
 				if err := insert(g.gemm(m, n, k)); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 		}
 	}
 
-	eng := runtime.New(cfg.Platform, dtd)
-	eng.Trace = cfg.Trace
-	eng.Audit = cfg.Audit
-	eng.Inject(cfg.Faults)
-	eng.Policy = cfg.Sched
-	eng.Bcast = cfg.Bcast
-	if cfg.Lookahead > 0 {
-		eng.Lookahead = cfg.Lookahead
-	}
-	stats, err := eng.Run()
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Stats:    stats,
-		Strategy: cfg.Strategy,
-		Err:      g.Err(),
-		engine:   eng,
-	}
-	if cfg.Strategy == ForceTTC {
-		_, res.CommTasks = cfg.Maps.STCCount()
-	} else {
-		res.STCTasks, res.CommTasks = cfg.Maps.STCCount()
-	}
-	return res, nil
+	return g, dtd, nil
 }

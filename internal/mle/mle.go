@@ -20,6 +20,7 @@ import (
 	"geompc/internal/geo"
 	"geompc/internal/linalg"
 	"geompc/internal/optimize"
+	"geompc/internal/plan"
 	"geompc/internal/prec"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
@@ -47,6 +48,13 @@ type Problem struct {
 	Platform *runtime.Platform
 	// Strategy for communication conversion (Auto = the paper's approach).
 	Strategy cholesky.Strategy
+	// PlanCache, when non-nil, shares one compiled schedule across all the
+	// likelihood evaluations of this problem: every evaluation factorizes
+	// the same tile DAG on the same platform, so after the first compile
+	// each evaluation pays only the numeric bodies (see internal/plan).
+	// Fit additionally memoizes the objective when a cache is set — the
+	// optimizer's restart loop re-evaluates incumbents bit-exactly.
+	PlanCache *plan.Cache
 }
 
 func (p *Problem) defaults() error {
@@ -120,9 +128,9 @@ func (p *Problem) NegLogLik(theta []float64, rs *RunStats) (float64, error) {
 	maps := precmap.New(km, p.UReq)
 	mat.SetStorage(func(i, j int) prec.Precision { return maps.Storage[i][j] })
 
-	res, err := cholesky.Run(cholesky.Config{
+	res, err := cholesky.RunCached(cholesky.Config{
 		Desc: desc, Maps: maps, Platform: p.Platform, Matrix: mat, Strategy: p.Strategy,
-	})
+	}, p.PlanCache)
 	if err != nil {
 		return 0, err
 	}
@@ -223,6 +231,12 @@ func Fit(p *Problem, start, lo, hi []float64, opt optimize.Options) (*FitResult,
 		}
 		return out
 	}
+	if p.PlanCache != nil {
+		// A plan cache signals a repeated-evaluation workload; memoizing the
+		// objective removes the optimizer's bit-exact repeat evaluations too
+		// (the restart loop re-probes incumbents at identical coordinates).
+		opt.Memoize = true
+	}
 	res, err := optimize.Minimize(obj, logOf(start), logOf(lo), logOf(hi), opt)
 	if err != nil {
 		return nil, err
@@ -297,6 +311,12 @@ type MCConfig struct {
 	Platform  *runtime.Platform
 	// MaxEvals bounds optimizer evaluations per fit (default 600).
 	MaxEvals int
+	// PlanCache gives each replica its own compiled-plan cache: within a
+	// replica every likelihood evaluation shares one schedule, while
+	// replicas stay isolated (their data — and so their precision maps —
+	// differ, and sharing one cache across workers would thrash the single
+	// per-shape slot).
+	PlanCache bool
 }
 
 // MCResult holds, for each accuracy level, the per-parameter estimate
@@ -390,6 +410,9 @@ func runReplica(cfg MCConfig, ureq float64, r, np int) (o mcOutcome) {
 	p := &Problem{
 		Locs: locs, Z: z, Kernel: cfg.Kernel, Nugget: cfg.Nugget,
 		TileSize: cfg.TileSize, UReq: ureq, Platform: cfg.Platform,
+	}
+	if cfg.PlanCache {
+		p.PlanCache = plan.NewCache(nil)
 	}
 	start, lo, hi := DefaultBounds(np)
 	fit, err := Fit(p, start, lo, hi, optimize.Options{Tol: 1e-9, MaxEvals: cfg.MaxEvals})

@@ -1,0 +1,128 @@
+package mle
+
+// Plan-cache equivalence: an MLE fit through a plan cache must be
+// numerically indistinguishable from one without — same likelihood values,
+// same estimates — while actually serving evaluations from replays.
+
+import (
+	"math"
+	"testing"
+
+	"geompc/internal/geo"
+	"geompc/internal/optimize"
+	"geompc/internal/plan"
+)
+
+func TestNegLogLikCachedEquivalent(t *testing.T) {
+	for _, ureq := range []float64{0, 1e-6} {
+		p, truth := testProblem(t, 96, ureq)
+		want, err := p.NegLogLik(truth, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		pc, _ := testProblem(t, 96, ureq)
+		pc.PlanCache = plan.NewCache(nil)
+		// Evaluate twice: the first compiles, the second replays.
+		for i := 0; i < 2; i++ {
+			got, err := pc.NegLogLik(truth, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("ureq=%g eval %d: cached NegLogLik %.17g != fresh %.17g", ureq, i, got, want)
+			}
+		}
+		s := pc.PlanCache.Stats()
+		if s.Misses != 1 {
+			t.Fatalf("ureq=%g: cache stats %+v, want 1 miss", ureq, s)
+		}
+		// With a theta-independent precision map (exact FP64) the second
+		// evaluation must be a pure replay; an adaptive map may legitimately
+		// re-derive and invalidate instead.
+		if ureq == 0 && s.Hits != 1 {
+			t.Fatalf("exact FP64: cache stats %+v, want 1 hit", s)
+		}
+	}
+}
+
+func TestFitCachedEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fit in -short mode")
+	}
+	const n = 80
+	opt := optimize.Options{Tol: 1e-9, MaxEvals: 120}
+
+	p, _ := testProblem(t, n, 0)
+	start, lo, hi := DefaultBounds(p.Kernel.NumParams())
+	ref, err := Fit(p, start, lo, hi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pc, _ := testProblem(t, n, 0)
+	pc.PlanCache = plan.NewCache(nil)
+	got, err := Fit(pc, start, lo, hi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.NegLogLik != ref.NegLogLik {
+		t.Fatalf("cached fit NLL %.17g != fresh %.17g", got.NegLogLik, ref.NegLogLik)
+	}
+	for i := range ref.Theta {
+		if got.Theta[i] != ref.Theta[i] {
+			t.Fatalf("cached theta[%d] %.17g != fresh %.17g", i, got.Theta[i], ref.Theta[i])
+		}
+	}
+
+	s := pc.PlanCache.Stats()
+	if s.Misses != 1 || s.Hits == 0 {
+		t.Fatalf("cache stats %+v, want exactly 1 compile and >0 replays", s)
+	}
+	// Memoization means the cached fit performs at most as many simulated
+	// factorizations as the fresh one (strictly fewer whenever the
+	// optimizer repeats a point; equality is allowed to keep this robust).
+	if got.Stats.Evaluations > ref.Stats.Evaluations {
+		t.Fatalf("cached fit simulated %d factorizations, fresh %d",
+			got.Stats.Evaluations, ref.Stats.Evaluations)
+	}
+	if math.IsInf(got.NegLogLik, 0) {
+		t.Fatal("fit did not find a finite optimum")
+	}
+}
+
+func TestMonteCarloPlanCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo in -short mode")
+	}
+	cfg := MCConfig{
+		Replicas: 2, N: 64, Dim: 2,
+		Kernel:    geo.SqExp{Dimension: 2},
+		TrueTheta: []float64{1.0, 0.1},
+		UReqs:     []float64{0},
+		Nugget:    1e-8, TileSize: 32, Seed: 11, MaxEvals: 60,
+	}
+	ref, err := MonteCarlo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PlanCache = true
+	got, err := MonteCarlo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("result count %d != %d", len(got), len(ref))
+	}
+	for li := range ref {
+		for pi := range ref[li].Estimates {
+			for ri := range ref[li].Estimates[pi] {
+				if got[li].Estimates[pi][ri] != ref[li].Estimates[pi][ri] {
+					t.Fatalf("estimate [%d][%d][%d] diverged under the plan cache: %.17g != %.17g",
+						li, pi, ri, got[li].Estimates[pi][ri], ref[li].Estimates[pi][ri])
+				}
+			}
+		}
+	}
+}

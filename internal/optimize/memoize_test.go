@@ -1,0 +1,56 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMemoizeExactRepeats: with Memoize set, Minimize calls the underlying
+// objective at most once per distinct coordinate vector while converging to
+// the same point as the unmemoized run.
+func TestMemoizeExactRepeats(t *testing.T) {
+	sphere := func(x []float64) float64 {
+		s := 0.0
+		for _, v := range x {
+			s += (v - 0.3) * (v - 0.3)
+		}
+		return s
+	}
+	x0 := []float64{-1, 1}
+	lo := []float64{-2, -2}
+	hi := []float64{2, 2}
+	opt := Options{Tol: 1e-10, MaxEvals: 400}
+
+	plainCalls := 0
+	plain, err := Minimize(func(x []float64) float64 { plainCalls++; return sphere(x) }, x0, lo, hi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Memoize = true
+	seen := make(map[[2]float64]int)
+	memoCalls := 0
+	memo, err := Minimize(func(x []float64) float64 {
+		memoCalls++
+		key := [2]float64{x[0], x[1]}
+		seen[key]++
+		if seen[key] > 1 {
+			t.Errorf("memoized objective re-evaluated at %v", x)
+		}
+		return sphere(x)
+	}, x0, lo, hi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if memo.F != plain.F || memo.X[0] != plain.X[0] || memo.X[1] != plain.X[1] {
+		t.Fatalf("memoized optimum (%v, %g) != plain (%v, %g)", memo.X, memo.F, plain.X, plain.F)
+	}
+	if memoCalls >= plainCalls {
+		t.Fatalf("memoization saved nothing: %d calls vs %d plain (restart loop should repeat points)",
+			memoCalls, plainCalls)
+	}
+	if math.Abs(memo.F) > 1e-8 {
+		t.Fatalf("optimum not reached: f=%g", memo.F)
+	}
+}

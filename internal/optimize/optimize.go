@@ -23,6 +23,13 @@ type Options struct {
 	Tol float64
 	// MaxEvals bounds the number of objective evaluations (default 2000).
 	MaxEvals int
+	// Memoize caches objective values by exact argument bits. The restart
+	// and polish phases of Minimize re-evaluate incumbents at identical
+	// coordinates; when each evaluation is an expensive simulated
+	// factorization (the MLE driver), memoization turns those repeats into
+	// table lookups. Only sound for deterministic objectives — which every
+	// simulation in this repository is by construction.
+	Memoize bool
 }
 
 func (o Options) withDefaults() Options {
@@ -256,12 +263,39 @@ func CompassSearch(f Objective, x0, lo, hi []float64, opt Options) (Result, erro
 	return Result{X: x, F: fx, Evals: evals, Converged: false}, nil
 }
 
+// memoized wraps f with an exact-bits value cache (see Options.Memoize).
+// Keys are the raw IEEE-754 bit patterns of the argument vector, so two
+// calls hit the same entry iff the coordinates are bit-identical — the only
+// equality under which reusing a deterministic objective value is sound.
+func memoized(f Objective) Objective {
+	cache := make(map[string]float64)
+	var key []byte
+	return func(x []float64) float64 {
+		key = key[:0]
+		for _, v := range x {
+			b := math.Float64bits(v)
+			key = append(key,
+				byte(b), byte(b>>8), byte(b>>16), byte(b>>24),
+				byte(b>>32), byte(b>>40), byte(b>>48), byte(b>>56))
+		}
+		if v, ok := cache[string(key)]; ok {
+			return v
+		}
+		v := f(x)
+		cache[string(key)] = v
+		return v
+	}
+}
+
 // Minimize runs Nelder–Mead with automatic restarts (a fresh simplex is
 // spawned at the incumbent until it stops improving — the standard remedy
 // for premature simplex collapse on curved likelihood ridges) and polishes
 // the result with a short compass search, returning the best point found.
 func Minimize(f Objective, x0, lo, hi []float64, opt Options) (Result, error) {
 	opt = opt.withDefaults()
+	if opt.Memoize {
+		f = memoized(f)
+	}
 	budget := opt.MaxEvals
 	perRun := opt
 	perRun.MaxEvals = budget / 2

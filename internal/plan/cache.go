@@ -1,0 +1,103 @@
+package plan
+
+import (
+	"sync"
+
+	"geompc/internal/obs"
+)
+
+// Cache holds at most one compiled plan per shape signature and counts how
+// the cache behaves — hits (pure replays), misses (first compiles),
+// invalidations (precision-map deltas forcing recompiles) and bypasses
+// (armed fault runs that must stay live). It is safe for concurrent use;
+// the expected pattern is one cache per repeated-workload loop (an MLE fit,
+// a Monte-Carlo replica, a sweep).
+type Cache struct {
+	mu    sync.Mutex
+	plans map[uint64]*Plan
+
+	reg           *obs.Registry
+	hits          *obs.Counter
+	misses        *obs.Counter
+	invalidations *obs.Counter
+	bypasses      *obs.Counter
+	replays       *obs.Counter
+	tasksDirty    *obs.Counter
+}
+
+// NewCache returns an empty cache. Counters register under plan/cache/* in
+// reg; nil uses a private registry (retrievable via Metrics).
+func NewCache(reg *obs.Registry) *Cache {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Cache{
+		plans:         make(map[uint64]*Plan),
+		reg:           reg,
+		hits:          reg.Counter("plan/cache/hits"),
+		misses:        reg.Counter("plan/cache/misses"),
+		invalidations: reg.Counter("plan/cache/invalidations"),
+		bypasses:      reg.Counter("plan/cache/bypasses"),
+		replays:       reg.Counter("plan/cache/replays"),
+		tasksDirty:    reg.Counter("plan/cache/tasks_invalidated"),
+	}
+}
+
+// Metrics returns the registry the cache counts into.
+func (c *Cache) Metrics() *obs.Registry { return c.reg }
+
+// Lookup returns the plan stored for sig, nil if none.
+func (c *Cache) Lookup(sig uint64) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.plans[sig]
+}
+
+// Store records p under its shape signature, replacing any previous plan
+// for that shape (one plan per shape: repeated workloads alternate
+// precision maps rarely, and a superseded schedule has no residual value).
+func (c *Cache) Store(p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans[p.Sig] = p
+}
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.plans)
+}
+
+// Hit records a cache hit followed by a replay.
+func (c *Cache) Hit() { c.hits.Inc(); c.replays.Inc() }
+
+// Miss records a miss (a compile follows).
+func (c *Cache) Miss() { c.misses.Inc() }
+
+// Invalidated records a precision-map delta that dirtied n tasks and
+// forced a recompile.
+func (c *Cache) Invalidated(n int) {
+	c.invalidations.Inc()
+	c.tasksDirty.Add(int64(n))
+}
+
+// Bypass records a run the cache refused to serve (armed fault plan).
+func (c *Cache) Bypass() { c.bypasses.Inc() }
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Invalidations, Bypasses, Replays, TasksInvalidated int64
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:             c.hits.Value(),
+		Misses:           c.misses.Value(),
+		Invalidations:    c.invalidations.Value(),
+		Bypasses:         c.bypasses.Value(),
+		Replays:          c.replays.Value(),
+		TasksInvalidated: c.tasksDirty.Value(),
+	}
+}

@@ -1,0 +1,97 @@
+package plan_test
+
+// Fault interaction: a plan is compiled fault-free, and a replay must never
+// be served to an armed run — device failures perturb the schedule beyond
+// what the frozen stream describes. RunCached must fall back to live
+// scheduling (counted as a bypass) and the live run's lineage recovery must
+// still reproduce the fault-free factor bit for bit (the PR 3 guarantee),
+// with the cache untouched for the next clean run.
+
+import (
+	"testing"
+
+	"geompc/internal/cholesky"
+	"geompc/internal/plan"
+	"geompc/internal/runtime"
+)
+
+func TestFaultRunsBypassPlanCache(t *testing.T) {
+	const nt, ranks, dev, ureq = 6, 1, 3, 1e-8
+
+	// Fault-free reference: factor bits and a makespan to aim the kill at.
+	clean := newConfig(t, nt, ranks, dev, ureq, "", "")
+	ref, err := cholesky.Run(clean)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if ref.Err != nil {
+		t.Fatalf("clean numeric failure: %v", ref.Err)
+	}
+	want := factorBits(clean.Matrix, clean.Desc)
+	fp := runtime.FaultPlan{{Kind: runtime.FaultKill, Device: 1, At: ref.Stats.Makespan * 0.4}}
+
+	cache := plan.NewCache(nil)
+
+	// Warm the cache: miss + compile, then a hit + replay.
+	c1 := newConfig(t, nt, ranks, dev, ureq, "", "")
+	if _, err := cholesky.RunCached(c1, cache); err != nil {
+		t.Fatalf("warm compile: %v", err)
+	}
+	c2 := newConfig(t, nt, ranks, dev, ureq, "", "")
+	if _, err := cholesky.RunCached(c2, cache); err != nil {
+		t.Fatalf("warm replay: %v", err)
+	}
+	if s := cache.Stats(); s.Misses != 1 || s.Hits != 1 || s.Bypasses != 0 {
+		t.Fatalf("warm-up counters: %+v", s)
+	}
+
+	// Armed run: must bypass the cache, run live, recover, and reproduce
+	// the fault-free factor bit for bit.
+	armed := newConfig(t, nt, ranks, dev, ureq, "", "")
+	armed.Faults = fp
+	armed.Audit = true
+	res, err := cholesky.RunCached(armed, cache)
+	if err != nil {
+		t.Fatalf("armed run: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("armed numeric failure: %v", res.Err)
+	}
+	if res.Stats.DeviceFailures != 1 {
+		t.Fatalf("armed run lost %d devices, want 1", res.Stats.DeviceFailures)
+	}
+	sameBits(t, want, factorBits(armed.Matrix, armed.Desc), "recovered factor")
+	if s := cache.Stats(); s.Bypasses != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("post-fault counters: %+v", s)
+	}
+
+	// Compiling under an armed injector is refused outright.
+	armed2 := newConfig(t, nt, ranks, dev, ureq, "", "")
+	armed2.Faults = fp
+	if _, err := cholesky.Compile(armed2); err == nil {
+		t.Fatal("Compile accepted an armed fault injector")
+	}
+	cleanPlan, err := cholesky.Compile(newConfig(t, nt, ranks, dev, ureq, "", ""))
+	if err != nil {
+		t.Fatalf("clean compile: %v", err)
+	}
+	if _, err := cholesky.Replay(armed2, cleanPlan); err == nil {
+		t.Fatal("Replay accepted an armed fault injector")
+	}
+
+	// A silent injector (wired in, empty plan) is fault-free in every
+	// observable way and may be served from the cache.
+	silent := newConfig(t, nt, ranks, dev, ureq, "", "")
+	silent.Faults = runtime.FaultPlan{}
+	sres, err := cholesky.RunCached(silent, cache)
+	if err != nil {
+		t.Fatalf("silent run: %v", err)
+	}
+	if sres.Digest() != ref.Digest() {
+		t.Fatalf("silent replay digest %016x != clean %016x", sres.Digest(), ref.Digest())
+	}
+	sameBits(t, want, factorBits(silent.Matrix, silent.Desc), "silent replay factor")
+	if s := cache.Stats(); s.Hits != 2 || s.Bypasses != 1 {
+		t.Fatalf("silent-run counters: %+v", s)
+	}
+}

@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"geompc/internal/runtime"
+)
+
+// Invalidation reports what a graph change (in practice: a precision-map
+// delta re-deriving some tile decisions) costs an existing plan.
+type Invalidation struct {
+	// Seed lists the tasks whose specs differ from compile time — the tasks
+	// directly touching a changed tile. Ascending.
+	Seed []int
+	// Dirty is Seed plus its downstream dependence closure: every task
+	// whose schedule could shift, and therefore the re-planning frontier.
+	// Ascending. Tasks outside Dirty provably kept their compiled specs.
+	Dirty []int
+}
+
+// Invalidate diffs g's task specs against the plan's compiled signatures
+// and expands the changed set to its downstream closure. The Higham–Mary
+// rule is per-tile, so a map delta seeds only the tasks touching changed
+// tiles; everything else is reachable damage through dependence edges.
+// Note what this does *not* claim: device and link contention couple task
+// timings beyond dependence edges, so a non-empty Dirty set forces a full
+// recompile — the win is proving when Dirty is empty (pure replay) and
+// exposing how much of the DAG a delta actually reaches.
+func (p *Plan) Invalidate(g runtime.Graph) (Invalidation, error) {
+	if n := g.NumTasks(); n != p.NumTasks {
+		return Invalidation{}, fmt.Errorf("plan: graph has %d tasks, plan compiled for %d", n, p.NumTasks)
+	}
+	sigs := SpecSignatures(g)
+	var inv Invalidation
+	for id, s := range sigs {
+		if s != p.specSigs[id] {
+			inv.Seed = append(inv.Seed, id)
+		}
+	}
+	inv.Dirty = DirtyClosure(g, inv.Seed)
+	return inv, nil
+}
+
+// DirtyClosure expands seed to its downstream dependence closure over g's
+// edges (seed included), returned ascending. Out-of-range seed ids are an
+// error surfaced by panic in Successors; callers pass task ids of g.
+func DirtyClosure(g runtime.Graph, seed []int) []int {
+	if len(seed) == 0 {
+		return nil
+	}
+	n := g.NumTasks()
+	dirty := make([]bool, n)
+	queue := make([]int, 0, len(seed))
+	for _, id := range seed {
+		if !dirty[id] {
+			dirty[id] = true
+			queue = append(queue, id)
+		}
+	}
+	var buf []int
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		buf = g.Successors(id, buf[:0])
+		for _, s := range buf {
+			if !dirty[s] {
+				dirty[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	out := make([]int, 0, len(seed))
+	for id, d := range dirty {
+		if d {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

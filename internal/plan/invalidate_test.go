@@ -1,0 +1,296 @@
+package plan_test
+
+// Incremental-invalidation tests: mutating one tile's precision must seed
+// only the tasks touching changed tiles, dirty exactly the downstream
+// dependence closure, and leave every other task's compiled spec provably
+// intact — with a from-scratch recompile as the correctness oracle.
+
+import (
+	"testing"
+
+	"geompc/internal/cholesky"
+	"geompc/internal/plan"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+)
+
+// phantomConfig builds a cost-only config (no numeric bodies) whose maps
+// are derived from the standard SPD matrix — invalidation is a pure
+// schedule question, so phantom mode keeps the fuzz loop cheap.
+func phantomConfig(t testing.TB, nt, ranks, devPerRank int, ureq float64) (cholesky.Config, [][]prec.Precision) {
+	t.Helper()
+	mat, _ := newSPDMatrix(t, nt, ranks)
+	km := precmap.FromMatrix(mat, ureq, prec.CholeskySet)
+	cfg := newConfig(t, nt, ranks, devPerRank, ureq, "", "")
+	cfg.Matrix = nil
+	return cfg, km
+}
+
+// withKernel returns cfg rebound to fresh maps derived from km.
+func withKernel(cfg cholesky.Config, km [][]prec.Precision, ureq float64) cholesky.Config {
+	cfg.Maps = precmap.New(km, ureq)
+	return cfg
+}
+
+// copyKernel deep-copies a kernel precision map.
+func copyKernel(km [][]prec.Precision) [][]prec.Precision {
+	out := make([][]prec.Precision, len(km))
+	for i := range km {
+		out[i] = append([]prec.Precision(nil), km[i]...)
+	}
+	return out
+}
+
+// flipTile changes tile (i,j)'s kernel precision to something else.
+func flipTile(km [][]prec.Precision, i, j int) {
+	if km[i][j] == prec.FP64 {
+		km[i][j] = prec.FP32
+	} else {
+		km[i][j] = prec.FP64
+	}
+}
+
+// changedDataIDs maps a DiffTiles report to the engine's DataID numbering
+// (i*nt + j).
+func changedDataIDs(diff [][2]int, nt int) map[int]bool {
+	ids := make(map[int]bool, len(diff))
+	for _, t := range diff {
+		ids[t[0]*nt+t[1]] = true
+	}
+	return ids
+}
+
+// tasksTouching returns the set of task ids whose spec reads or writes any
+// of the given data ids — the structural (tile-locality) oracle for the
+// signature-based seed.
+func tasksTouching(g runtime.Graph, ids map[int]bool) map[int]bool {
+	out := make(map[int]bool)
+	var spec runtime.TaskSpec
+	for id := 0; id < g.NumTasks(); id++ {
+		g.Spec(id, &spec)
+		touch := ids[int(spec.Output.Data)]
+		for i := range spec.Inputs {
+			touch = touch || ids[int(spec.Inputs[i].Data)]
+		}
+		if touch {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func toSet(ids []int) map[int]bool {
+	s := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+func TestInvalidateSingleTile(t *testing.T) {
+	const nt, ureq = 6, 1e-8
+	base, km := phantomConfig(t, nt, 2, 2, ureq)
+	p, err := cholesky.Compile(base)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+
+	// Flip one mid-panel tile's kernel precision and re-derive the maps.
+	km2 := copyKernel(km)
+	flipTile(km2, 3, 1)
+	mut := withKernel(base, km2, ureq)
+	diff := base.Maps.DiffTiles(mut.Maps)
+	if len(diff) == 0 {
+		t.Fatal("flipping a tile produced no map diff")
+	}
+
+	g2, err := cholesky.PlanGraph(mut)
+	if err != nil {
+		t.Fatalf("PlanGraph: %v", err)
+	}
+	inv, err := p.Invalidate(g2)
+	if err != nil {
+		t.Fatalf("Invalidate: %v", err)
+	}
+	if len(inv.Seed) == 0 {
+		t.Fatal("a real map delta seeded no tasks")
+	}
+
+	// Structural soundness: the signature-diff seed is exactly the tasks
+	// touching changed tiles (spec reads are tile-local), and never more.
+	touching := tasksTouching(g2, changedDataIDs(diff, nt))
+	for _, id := range inv.Seed {
+		if !touching[id] {
+			t.Errorf("seed task %d touches no changed tile", id)
+		}
+	}
+
+	// Closure soundness: Dirty ⊇ Seed and matches an independent BFS.
+	dirty := toSet(inv.Dirty)
+	for _, id := range inv.Seed {
+		if !dirty[id] {
+			t.Errorf("seed task %d missing from dirty closure", id)
+		}
+	}
+	want := toSet(plan.DirtyClosure(g2, inv.Seed))
+	if len(want) != len(dirty) {
+		t.Fatalf("dirty closure size %d, independent BFS %d", len(dirty), len(want))
+	}
+
+	// Tasks outside the closure provably kept their compiled specs.
+	g1, err := cholesky.PlanGraph(base)
+	if err != nil {
+		t.Fatalf("PlanGraph(base): %v", err)
+	}
+	s1, s2 := plan.SpecSignatures(g1), plan.SpecSignatures(g2)
+	seed := toSet(inv.Seed)
+	for id := range s1 {
+		if !seed[id] && s1[id] != s2[id] {
+			t.Errorf("task %d changed spec but is not seeded", id)
+		}
+		if seed[id] && s1[id] == s2[id] {
+			t.Errorf("task %d is seeded but its spec did not change", id)
+		}
+	}
+
+	// Oracle: a full recompile of the mutated config equals a from-scratch
+	// simulation — the recompile path loses nothing.
+	fresh, err := cholesky.Run(mut)
+	if err != nil {
+		t.Fatalf("fresh run of mutated config: %v", err)
+	}
+	p2, err := cholesky.Compile(mut)
+	if err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	if p2.Stats.ScheduleDigest != fresh.Digest() {
+		t.Fatalf("recompiled digest %016x != from-scratch %016x",
+			p2.Stats.ScheduleDigest, fresh.Digest())
+	}
+}
+
+func TestInvalidateNoChange(t *testing.T) {
+	base, _ := phantomConfig(t, 4, 2, 2, 1e-8)
+	p, err := cholesky.Compile(base)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	g, err := cholesky.PlanGraph(base)
+	if err != nil {
+		t.Fatalf("PlanGraph: %v", err)
+	}
+	inv, err := p.Invalidate(g)
+	if err != nil {
+		t.Fatalf("Invalidate: %v", err)
+	}
+	if len(inv.Seed) != 0 || len(inv.Dirty) != 0 {
+		t.Fatalf("identical graph dirtied %d/%d tasks", len(inv.Seed), len(inv.Dirty))
+	}
+}
+
+// FuzzInvalidate drives random precision-map deltas through Invalidate and
+// checks it against the full-recompile oracle: every task whose spec
+// signature changed is seeded, the closure covers all structurally affected
+// tasks, and the recompiled schedule equals a from-scratch simulation.
+func FuzzInvalidate(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x03, 0x11})
+	f.Add([]byte{0x07, 0x21, 0x42, 0x63})
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0xfc, 0xfb, 0xfa})
+
+	const nt, ureq = 5, 1e-8
+	base, km := phantomConfig(f, nt, 2, 2, ureq)
+	p, err := cholesky.Compile(base)
+	if err != nil {
+		f.Fatalf("compile: %v", err)
+	}
+	g1, err := cholesky.PlanGraph(base)
+	if err != nil {
+		f.Fatalf("PlanGraph: %v", err)
+	}
+	s1 := plan.SpecSignatures(g1)
+
+	ladder := prec.CholeskySet
+	f.Fuzz(func(t *testing.T, delta []byte) {
+		// Each byte mutates one lower tile: high bits pick the tile,
+		// low 2 bits pick the precision from the ladder.
+		km2 := copyKernel(km)
+		for _, b := range delta {
+			k := int(b>>2) % (nt * (nt + 1) / 2)
+			// Unrank k into lower-triangular (i, j).
+			i, j := 0, 0
+			for r, left := 0, k; r < nt; r++ {
+				if left <= r {
+					i, j = r, left
+					break
+				}
+				left -= r + 1
+			}
+			km2[i][j] = ladder[int(b&3)]
+		}
+		mut := withKernel(base, km2, ureq)
+
+		g2, err := cholesky.PlanGraph(mut)
+		if err != nil {
+			t.Fatalf("PlanGraph: %v", err)
+		}
+		inv, err := p.Invalidate(g2)
+		if err != nil {
+			t.Fatalf("Invalidate: %v", err)
+		}
+
+		// Seed oracle: exactly the signature deltas.
+		s2 := plan.SpecSignatures(g2)
+		seed := toSet(inv.Seed)
+		for id := range s1 {
+			if (s1[id] != s2[id]) != seed[id] {
+				t.Fatalf("task %d: sig changed=%v, seeded=%v", id, s1[id] != s2[id], seed[id])
+			}
+		}
+
+		// Structural oracle: every task touching a changed tile whose spec
+		// actually changed is inside the dirty closure.
+		dirty := toSet(inv.Dirty)
+		for _, id := range inv.Seed {
+			if !dirty[id] {
+				t.Fatalf("seed task %d outside dirty closure", id)
+			}
+		}
+		touching := tasksTouching(g2, changedDataIDs(base.Maps.DiffTiles(mut.Maps), nt))
+		for id := range seed {
+			if !touching[id] {
+				t.Fatalf("seed task %d touches no changed tile", id)
+			}
+		}
+
+		// Recompile oracle: the post-delta compile equals a from-scratch run.
+		fresh, err := cholesky.Run(mut)
+		if err != nil {
+			t.Fatalf("fresh run: %v", err)
+		}
+		p2, err := cholesky.Compile(mut)
+		if err != nil {
+			t.Fatalf("recompile: %v", err)
+		}
+		if p2.Stats.ScheduleDigest != fresh.Digest() {
+			t.Fatalf("recompiled digest %016x != from-scratch %016x",
+				p2.Stats.ScheduleDigest, fresh.Digest())
+		}
+
+		// Unchanged map signature ⇒ pure replay is still legal; a changed
+		// signature ⇒ replay with the old plan is refused. (Seed gates on
+		// spec signatures, which the map signature dominates: a spec change
+		// implies a map change, so a seeded delta is always refused.)
+		if mut.Maps.Signature() == base.Maps.Signature() {
+			if _, err := cholesky.Replay(mut, p); err != nil {
+				t.Fatalf("clean graph refused replay: %v", err)
+			}
+		} else if _, err := cholesky.Replay(mut, p); err == nil {
+			t.Fatal("stale plan accepted a changed precision map")
+		}
+		if len(inv.Seed) > 0 && mut.Maps.Signature() == base.Maps.Signature() {
+			t.Fatal("specs changed under an identical map signature")
+		}
+	})
+}

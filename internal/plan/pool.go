@@ -1,0 +1,50 @@
+package plan
+
+import gort "runtime"
+
+// replayPool runs numeric task bodies during a replay, mirroring the
+// engine's worker pool: bodies start eagerly at their recorded commit and
+// are joined at their recorded completion, so replayed dataflow order
+// matches the original run under any GOMAXPROCS. Goroutines spin up lazily
+// on the first body — phantom replays never pay for them.
+type replayPool struct {
+	jobs chan func()
+	done map[int]chan struct{}
+}
+
+// start submits a task body and registers its join channel.
+func (rp *replayPool) start(id int, body func()) {
+	if rp.jobs == nil {
+		size := gort.GOMAXPROCS(0)
+		rp.jobs = make(chan func(), 4*size)
+		rp.done = make(map[int]chan struct{})
+		for i := 0; i < size; i++ {
+			go func() {
+				for j := range rp.jobs {
+					j()
+				}
+			}()
+		}
+	}
+	ch := make(chan struct{})
+	rp.done[id] = ch
+	rp.jobs <- func() {
+		body()
+		close(ch)
+	}
+}
+
+// await blocks until task id's body (if one was started) has finished.
+func (rp *replayPool) await(id int) {
+	if ch, ok := rp.done[id]; ok {
+		<-ch
+		delete(rp.done, id)
+	}
+}
+
+// close shuts the worker goroutines down (no-op if none were started).
+func (rp *replayPool) close() {
+	if rp.jobs != nil {
+		close(rp.jobs)
+	}
+}

@@ -45,6 +45,12 @@ type Engine struct {
 	// comm.Binomial{}, the engine's historical behavior.
 	Bcast comm.Topology
 
+	// Recorder, when non-nil, observes the run's commit/completion stream
+	// (see PlanRecorder). Recovery work (lineage replays) is not reported:
+	// the stream describes only the fault-free forward schedule, which is
+	// what a compiled plan replays.
+	Recorder PlanRecorder
+
 	devices []*device
 	// nics holds one comm.Link per rank: the send side of its broadcasts.
 	nics []*comm.Link
@@ -434,6 +440,9 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 	e.seq++
 	e.pushEvent(event{at: end, seq: e.seq, spec: spec, result: result, start: start, replay: e.inRecovery})
 	e.inflight++
+	if e.Recorder != nil && !e.inRecovery {
+		e.Recorder.RecordCommit(spec.ID)
+	}
 }
 
 // convPowerFrac is the fraction of the dynamic power range a datatype
@@ -500,6 +509,13 @@ func (e *Engine) complete(ev *event) {
 		e.specFree = append(e.specFree, spec)
 		e.tryCommit(d)
 		return
+	}
+
+	// The body is joined and successors have not committed yet: a recorder
+	// sees every predecessor's completion strictly before any dependent
+	// commit, which is the ordering a plan replay relies on.
+	if e.Recorder != nil {
+		e.Recorder.RecordComplete(spec.ID)
 	}
 
 	if p := spec.Publish; p != nil {
