@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"geompc/internal/bench"
+	"geompc/internal/cliflags"
 	"geompc/internal/core"
 	"geompc/internal/hw"
 	"geompc/internal/mle"
@@ -52,9 +53,11 @@ func run(args []string, out io.Writer) error {
 	chaosFaults := fs.String("chaos-faults", "", "fault plan for -chaos (default: derived kill+flaky+slow, scaled per config)")
 	schedRanks := fs.Int("sched-ranks", 4, "ranks for the -sched broadcast-topology sweep")
 	planEvals := fs.Int("plan-evals", 8, "evaluations in the -plan repeated loop")
+	v := cliflags.Register(fs, cliflags.Workers)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sw := v.SweepOpts()
 
 	if !*banded && !*lookahead && !*probe && !*tlrFlag && !*chaos && !*schedFlag && !*planFlag {
 		*banded, *lookahead, *probe, *tlrFlag, *chaos, *schedFlag, *planFlag = true, true, true, true, true, true, true
@@ -106,7 +109,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *chaos {
-		rows, err := bench.ChaosAblation(hw.SummitNode, *chaosGPUs, *n, *ts, *chaosFaults)
+		rows, err := bench.ChaosAblationOpts(hw.SummitNode, *chaosGPUs, *n, *ts, *chaosFaults, sw)
 		if err != nil {
 			return err
 		}
@@ -122,7 +125,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *schedFlag {
-		rows, err := bench.SchedAblation(hw.SummitNode, 1, 0, []int{*n}, *ts)
+		rows, err := bench.SchedAblationOpts(hw.SummitNode, 1, 0, []int{*n}, *ts, sw)
 		if err != nil {
 			return err
 		}
@@ -135,7 +138,7 @@ func run(args []string, out io.Writer) error {
 		}
 		t.Write(out)
 
-		brows, err := bench.BcastAblation(hw.SummitNode, *schedRanks, []int{*n}, *ts)
+		brows, err := bench.BcastAblationOpts(hw.SummitNode, *schedRanks, []int{*n}, *ts, sw)
 		if err != nil {
 			return err
 		}

@@ -54,6 +54,21 @@ func TestRunChaosSingleGPU(t *testing.T) {
 	}
 }
 
+func TestRunWorkersMatchesSerial(t *testing.T) {
+	args := []string{"-sched", "-chaos", "-n", "16384", "-chaos-gpus", "2", "-sched-ranks", "3"}
+	var serial, par bytes.Buffer
+	if err := run(args, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-workers", "2"), &par); err != nil {
+		t.Fatal(err)
+	}
+	// ablation prints no sweep summary, so the output must be byte-identical.
+	if serial.String() != par.String() {
+		t.Errorf("-workers 2 changed the output:\nserial:\n%s\nparallel:\n%s", serial.String(), par.String())
+	}
+}
+
 func TestRunPlanSmoke(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-plan", "-n", "16384", "-plan-evals", "4"}, &out); err != nil {

@@ -24,6 +24,11 @@ type measurement struct {
 	NsOp     float64 `json:"ns_op"`
 	BOp      int64   `json:"b_op"`
 	AllocsOp int64   `json:"allocs_op"`
+	// Gomaxprocs is the -N suffix go test appends to the benchmark name
+	// (go test omits it when GOMAXPROCS is 1). Parallel-sweep series are
+	// meaningless without it: 126 points/sec at one core and at eight are
+	// different results.
+	Gomaxprocs int `json:"gomaxprocs"`
 }
 
 // record joins the current run with the baseline for one benchmark.
@@ -137,8 +142,9 @@ func parseBench(r io.Reader) (map[string]measurement, map[string]string, error) 
 		if len(fields) < 4 {
 			continue
 		}
-		name := trimCPUSuffix(fields[0])
+		name, procs := splitCPUSuffix(fields[0])
 		var m measurement
+		m.Gomaxprocs = procs
 		// fields[1] is the iteration count; after that, (value, unit) pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -161,16 +167,19 @@ func parseBench(r io.Reader) (map[string]measurement, map[string]string, error) 
 	return out, meta, sc.Err()
 }
 
-// trimCPUSuffix drops a trailing -N GOMAXPROCS marker (Benchmark/sub-8).
-func trimCPUSuffix(name string) string {
+// splitCPUSuffix drops a trailing -N GOMAXPROCS marker (Benchmark/sub-8)
+// and returns its value, defaulting to 1 when absent — go test only prints
+// the suffix when GOMAXPROCS differs from 1.
+func splitCPUSuffix(name string) (string, int) {
 	i := strings.LastIndexByte(name, '-')
 	if i < 0 {
-		return name
+		return name, 1
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
 	}
-	return name[:i]
+	return name[:i], n
 }
 
 func sortedKeys(m map[string]measurement) []string {

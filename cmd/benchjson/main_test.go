@@ -37,6 +37,36 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestGomaxprocsRecorded: each measurement carries the GOMAXPROCS it ran
+// with, parsed from the -N name suffix (1 when the suffix is absent). The
+// SweepParallel* series are uninterpretable without it.
+func TestGomaxprocsRecorded(t *testing.T) {
+	in := benchOutput + "BenchmarkSweepSerial  10  500 ns/op  0 B/op  0 allocs/op\n" +
+		"BenchmarkSweepW4-4  10  200 ns/op  0 B/op  0 allocs/op\n"
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"BenchmarkGemm/fp64":   8,
+		"BenchmarkGemm/fp16":   8,
+		"BenchmarkSweepSerial": 1,
+		"BenchmarkSweepW4":     4,
+	}
+	for _, b := range rep.Benchmarks {
+		if got := b.After.Gomaxprocs; got != want[b.Name] {
+			t.Errorf("%s: gomaxprocs = %d, want %d", b.Name, got, want[b.Name])
+		}
+	}
+	if len(rep.Benchmarks) != len(want) {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(want))
+	}
+}
+
 func TestRunEmptyInput(t *testing.T) {
 	if err := run(nil, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}); err == nil {
 		t.Fatal("empty bench input must fail")

@@ -18,12 +18,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"geompc/internal/bench"
+	"geompc/internal/cliflags"
 	"geompc/internal/hw"
 	planpkg "geompc/internal/plan"
+	"geompc/internal/sweep"
 )
 
 func main() {
@@ -40,10 +40,7 @@ func run(args []string, out io.Writer) error {
 	node := fs.Bool("node", false, "use every GPU of the node (Fig 11)")
 	sizesFlag := fs.String("sizes", "", "comma-separated matrix sizes (default: per-machine sweep)")
 	ts := fs.Int("ts", 2048, "tile size")
-	faults := fs.String("faults", "", "fault plan injected into every run (see runtime.ParseFaultSpec)")
-	schedFlag := fs.String("sched", "", "scheduling policy: fifo (default), locality, cp")
-	bcast := fs.String("bcast", "", "broadcast topology: binomial (default), flat, chain")
-	planCache := fs.Bool("plan-cache", false, "route every run through a compiled-plan cache and print the hit/miss/invalidation counters")
+	v := cliflags.Register(fs, cliflags.Sched|cliflags.Faults|cliflags.PlanCache|cliflags.Workers)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,24 +62,24 @@ func run(args []string, out io.Writer) error {
 		}
 		sizes = base
 	} else {
-		for _, p := range strings.Split(*sizesFlag, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(p))
-			if err != nil {
-				return fmt.Errorf("bad size %q", p)
-			}
-			sizes = append(sizes, v)
+		if sizes, err = cliflags.ParseSizes(*sizesFlag); err != nil {
+			return err
 		}
 	}
 
-	so := bench.SchedOpts{Policy: *schedFlag, Bcast: *bcast}
+	so := v.SchedOpts()
+	var sum sweep.Summary
+	if v.Workers != 0 {
+		so.Summary = &sum
+	}
 	var cache *planpkg.Cache
 	var rows []bench.ConvRow
 	var err2 error
-	if *planCache {
+	if v.PlanCache {
 		cache = planpkg.NewCache(nil)
-		rows, err2 = bench.ConvSweepCached(nd, 1, g, sizes, *ts, *faults, so, cache)
+		rows, err2 = bench.ConvSweepCached(nd, 1, g, sizes, *ts, v.Faults, so, cache)
 	} else {
-		rows, err2 = bench.ConvSweepOpts(nd, 1, g, sizes, *ts, *faults, so)
+		rows, err2 = bench.ConvSweepOpts(nd, 1, g, sizes, *ts, v.Faults, so)
 	}
 	if err2 != nil {
 		return err2
@@ -124,6 +121,12 @@ func run(args []string, out io.Writer) error {
 		s := cache.Stats()
 		fmt.Fprintf(out, "\nplan cache: %d hit(s), %d miss(es), %d invalidation(s) dirtying %d task(s), %d bypass(es)\n",
 			s.Hits, s.Misses, s.Invalidations, s.TasksInvalidated, s.Bypasses)
+		if v.Workers != 0 {
+			fmt.Fprintln(out, "(cache shared across sweep workers; counters are scheduling-dependent, rows are not)")
+		}
+	}
+	if v.Workers != 0 {
+		fmt.Fprintf(out, "\n%s\n", sum)
 	}
 	return nil
 }

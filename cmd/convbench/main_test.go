@@ -34,3 +34,21 @@ func TestRunPlanCacheSmoke(t *testing.T) {
 		t.Errorf("missing plan-cache counters:\n%s", out.String())
 	}
 }
+
+func TestRunWorkersMatchesSerial(t *testing.T) {
+	args := []string{"-machine", "Summit", "-gpus", "1", "-sizes", "8192,16384"}
+	var serial, par bytes.Buffer
+	if err := run(args, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-workers", "2"), &par); err != nil {
+		t.Fatal(err)
+	}
+	// The parallel run appends a sweep summary; the tables must be identical.
+	if !strings.HasPrefix(par.String(), serial.String()) {
+		t.Errorf("-workers 2 changed the tables:\nserial:\n%s\nparallel:\n%s", serial.String(), par.String())
+	}
+	if !strings.Contains(par.String(), "sweep: ") {
+		t.Errorf("missing sweep summary:\n%s", par.String())
+	}
+}

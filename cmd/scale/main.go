@@ -18,23 +18,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"geompc/internal/bench"
+	"geompc/internal/cliflags"
+	"geompc/internal/sweep"
 )
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, p := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("bad value %q", p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -54,25 +42,27 @@ func run(args []string, out io.Writer) error {
 	strongN := fs.Int("strong-n", 798720, "strong-scaling matrix size (paper: 798720)")
 	sizesFlag := fs.String("sizes", "196608,399360,598016,798720", "matrix sizes for -mp")
 	ts := fs.Int("ts", 2048, "tile size")
-	faults := fs.String("faults", "", "fault plan injected into every -weak/-strong run (see runtime.ParseFaultSpec)")
-	schedFlag := fs.String("sched", "", "scheduling policy for -weak/-strong: fifo (default), locality, cp")
-	bcast := fs.String("bcast", "", "broadcast topology for -weak/-strong: binomial (default), flat, chain")
+	v := cliflags.Register(fs, cliflags.Sched|cliflags.Faults|cliflags.Workers)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	so := bench.SchedOpts{Policy: *schedFlag, Bcast: *bcast}
+	so := v.SchedOpts()
+	var sum sweep.Summary
+	if v.Workers != 0 {
+		so.Summary = &sum
+	}
 
 	if !*weak && !*strong && !*mp {
 		*weak, *strong, *mp = true, true, true
 	}
 
-	nodes, err := parseInts(*nodesFlag)
+	nodes, err := cliflags.ParseSizes(*nodesFlag)
 	if err != nil {
 		return err
 	}
 
 	if *weak {
-		rows, err := bench.WeakScalingOpts(nodes, *baseN, *ts, *faults, so)
+		rows, err := bench.WeakScalingOpts(nodes, *baseN, *ts, v.Faults, so)
 		if err != nil {
 			return err
 		}
@@ -82,10 +72,13 @@ func run(args []string, out io.Writer) error {
 			t.Add(r.Nodes, r.GPUs, r.N, r.Tflops, r.PctPeak, r.Time)
 		}
 		t.Write(out)
+		if v.Workers != 0 {
+			fmt.Fprintf(out, "%s\n", sum)
+		}
 	}
 
 	if *strong {
-		rows, err := bench.StrongScalingOpts(nodes, *strongN, *ts, *faults, so)
+		rows, err := bench.StrongScalingOpts(nodes, *strongN, *ts, v.Faults, so)
 		if err != nil {
 			return err
 		}
@@ -95,10 +88,13 @@ func run(args []string, out io.Writer) error {
 			t.Add(r.Nodes, r.GPUs, r.Tflops, r.PctPeak, r.Time)
 		}
 		t.Write(out)
+		if v.Workers != 0 {
+			fmt.Fprintf(out, "%s\n", sum)
+		}
 	}
 
 	if *mp {
-		sizes, err := parseInts(*sizesFlag)
+		sizes, err := cliflags.ParseSizes(*sizesFlag)
 		if err != nil {
 			return err
 		}

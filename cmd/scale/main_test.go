@@ -26,3 +26,21 @@ func TestRunFaultsSmoke(t *testing.T) {
 		t.Errorf("missing strong-scaling table:\n%s", out.String())
 	}
 }
+
+func TestRunWorkersMatchesSerial(t *testing.T) {
+	args := []string{"-weak", "-nodes", "1,2", "-base-n", "8192"}
+	var serial, par bytes.Buffer
+	if err := run(args, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-workers", "2"), &par); err != nil {
+		t.Fatal(err)
+	}
+	// The parallel run appends a sweep summary; the table must be identical.
+	if !strings.HasPrefix(par.String(), serial.String()) {
+		t.Errorf("-workers 2 changed the table:\nserial:\n%s\nparallel:\n%s", serial.String(), par.String())
+	}
+	if !strings.Contains(par.String(), "sweep: ") {
+		t.Errorf("missing sweep summary:\n%s", par.String())
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"geompc/internal/bench"
 	"geompc/internal/cholesky"
+	"geompc/internal/cliflags"
 	"geompc/internal/hw"
 	planpkg "geompc/internal/plan"
 	"geompc/internal/prec"
@@ -43,18 +44,15 @@ func run(args []string, out io.Writer) error {
 	chrome := fs.String("chrome", "", "write the timeline as Chrome trace-event JSON to this file")
 	audit := fs.Bool("audit", false, "run the engine's invariant auditor; violations are fatal")
 	metrics := fs.Bool("metrics", false, "dump the run's metrics registry after the schedule")
-	faults := fs.String("faults", "", "deterministic fault plan (e.g. 'kill:dev=1,at=0.004;slow:dev=0,from=0,to=0.01,x=4')")
-	schedFlag := fs.String("sched", "", "scheduling policy: fifo (default), locality, cp")
-	bcast := fs.String("bcast", "", "broadcast topology: binomial (default), flat, chain")
-	planCache := fs.Bool("plan-cache", false, "run twice through a compiled-plan cache (compile, then replay) and print the cache counters; the replayed digest must equal the compiled one")
+	v := cliflags.Register(fs, cliflags.Sched|cliflags.Faults|cliflags.PlanCache)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	pol, topo, err := bench.SchedOpts{Policy: *schedFlag, Bcast: *bcast}.Resolve()
+	pol, topo, err := bench.SchedOpts{Policy: v.Sched, Bcast: v.Bcast}.Resolve()
 	if err != nil {
 		return err
 	}
-	if *planCache && *chrome != "" {
+	if v.PlanCache && *chrome != "" {
 		return fmt.Errorf("-chrome needs a live run's interval traces; drop -plan-cache")
 	}
 
@@ -67,20 +65,16 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var injector runtime.FaultInjector
-	if *faults != "" {
-		plan, err := runtime.ParseFaultSpec(*faults, plat.NumDevices())
-		if err != nil {
-			return err
-		}
-		injector = plan
+	injector, err := v.Injector(plat.NumDevices())
+	if err != nil {
+		return err
 	}
 	cfg := cholesky.Config{
 		Desc: d, Maps: maps, Platform: plat, Trace: true, Audit: *audit, Faults: injector,
 		Sched: pol, Bcast: topo,
 	}
 	var cache *planpkg.Cache
-	if *planCache {
+	if v.PlanCache {
 		cache = planpkg.NewCache(nil)
 	}
 	res, err := cholesky.RunCached(cfg, cache)

@@ -7,6 +7,7 @@ import (
 	"geompc/internal/hw"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
+	"geompc/internal/sweep"
 	"geompc/internal/tile"
 )
 
@@ -49,6 +50,14 @@ func defaultChaosPlan(gpus int, makespan float64) runtime.FaultPlan {
 // own baseline; otherwise spec is parsed by runtime.ParseFaultSpec and
 // applied verbatim (absolute virtual times) to every configuration.
 func ChaosAblation(node *hw.NodeSpec, gpus, n, ts int, spec string) ([]ChaosRow, error) {
+	return ChaosAblationOpts(node, gpus, n, ts, spec, SweepOpts{})
+}
+
+// ChaosAblationOpts is ChaosAblation routed through the sweep executor:
+// one grid point per precision configuration, each producing its
+// fault-free baseline row and its chaos row (the chaos run depends on the
+// baseline's makespan, so the pair stays inside one point).
+func ChaosAblationOpts(node *hw.NodeSpec, gpus, n, ts int, spec string, so SweepOpts) ([]ChaosRow, error) {
 	if gpus < 2 {
 		return nil, fmt.Errorf("bench: chaos ablation needs at least 2 GPUs for failover, got %d", gpus)
 	}
@@ -67,15 +76,17 @@ func ChaosAblation(node *hw.NodeSpec, gpus, n, ts int, spec string) ([]ChaosRow,
 			return nil, err
 		}
 	}
-	var rows []ChaosRow
-	for _, cfg := range ConvConfigs() {
+	cfgs := ConvConfigs()
+	pairs, err := sweep.Run(len(cfgs), so.sweepOptions(), func(i int, ctx *sweep.Context) ([2]ChaosRow, error) {
+		cfg := cfgs[i]
 		maps := precmap.New(cfg.KernelMap(desc.NT), 1e-2)
 		base, err := cholesky.Run(cholesky.Config{
 			Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("bench: chaos baseline %s: %w", cfg.Name, err)
+			return [2]ChaosRow{}, fmt.Errorf("bench: chaos baseline %s: %w", cfg.Name, err)
 		}
+		ctx.Reg.Merge(base.Metrics())
 		plan := fixed
 		if plan == nil {
 			plan = defaultChaosPlan(gpus, base.Stats.Makespan)
@@ -85,20 +96,29 @@ func ChaosAblation(node *hw.NodeSpec, gpus, n, ts int, spec string) ([]ChaosRow,
 			Faults: plan, Audit: true,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("bench: chaos run %s: %w", cfg.Name, err)
+			return [2]ChaosRow{}, fmt.Errorf("bench: chaos run %s: %w", cfg.Name, err)
 		}
+		ctx.Reg.Merge(chaos.Metrics())
 		bt, be := base.Stats.Makespan, base.Stats.Energy
 		ct, ce := chaos.Stats.Makespan, chaos.Stats.Energy
-		rows = append(rows,
-			ChaosRow{Config: cfg.Name, Scenario: "fault-free", Time: bt, Energy: be},
-			ChaosRow{
+		return [2]ChaosRow{
+			{Config: cfg.Name, Scenario: "fault-free", Time: bt, Energy: be},
+			{
 				Config: cfg.Name, Scenario: "chaos", Time: ct, Energy: ce,
 				TimeOverheadPct:   100 * (ct - bt) / bt,
 				EnergyOverheadPct: 100 * (ce - be) / be,
 				DeviceFailures:    chaos.Stats.DeviceFailures,
 				ReplayedTasks:     chaos.Stats.ReplayedTasks,
 				RetriedTasks:      chaos.Stats.RetriedTasks,
-			})
+			},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ChaosRow, 0, 2*len(pairs))
+	for _, p := range pairs {
+		rows = append(rows, p[0], p[1])
 	}
 	return rows, nil
 }

@@ -9,6 +9,7 @@ import (
 	"geompc/internal/prec"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
+	"geompc/internal/sweep"
 	"geompc/internal/tile"
 )
 
@@ -55,6 +56,9 @@ type ConvRow struct {
 	// PctPeak is achieved performance over the config's dominant-precision
 	// peak (the dashed lines of Fig 8).
 	PctPeak float64
+	// Digest is the run's FNV-1a schedule digest — the value the parallel
+	// sweep executor must reproduce bit for bit against a serial sweep.
+	Digest uint64
 }
 
 // ConvSweep runs Fig 8 (single GPU) or Fig 11 (full node) for one machine:
@@ -77,8 +81,38 @@ func ConvSweepOpts(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts in
 	return convSweep(node, ranks, gpusPerRank, sizes, ts, faultSpec, so, nil)
 }
 
-// convSweep is the shared sweep body; a non-nil cache routes every run
-// through cholesky.RunCached (see ConvSweepCached).
+// convPoint is one cell of the conversion sweep's flattened grid:
+// configuration × conversion strategy × matrix size.
+type convPoint struct {
+	cfg   ConvConfig
+	strat cholesky.Strategy
+	n     int
+}
+
+// convGrid flattens the sweep's nested loops into submission order —
+// the row order every worker count must reproduce.
+func convGrid(sizes []int) []convPoint {
+	var pts []convPoint
+	for _, cfg := range ConvConfigs() {
+		strategies := []cholesky.Strategy{cholesky.Auto, cholesky.ForceTTC}
+		if cfg.Uniform {
+			// Uniform-precision baselines have no precision mismatch; STC
+			// and TTC coincide, so report a single line.
+			strategies = strategies[:1]
+		}
+		for _, strat := range strategies {
+			for _, n := range sizes {
+				pts = append(pts, convPoint{cfg: cfg, strat: strat, n: n})
+			}
+		}
+	}
+	return pts
+}
+
+// convSweep is the shared sweep body, routed through the deterministic
+// sweep executor (serial when so.Workers == 0); a non-nil cache routes
+// every run through cholesky.RunCached and is shared across workers (see
+// ConvSweepCached and the plan.Cache concurrency contract).
 func convSweep(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int, faultSpec string, so SchedOpts, cache *planpkg.Cache) ([]ConvRow, error) {
 	pol, topo, err := so.Resolve()
 	if err != nil {
@@ -96,42 +130,36 @@ func convSweep(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int, f
 		}
 		faults = fp
 	}
-	var rows []ConvRow
-	for _, cfg := range ConvConfigs() {
-		strategies := []cholesky.Strategy{cholesky.Auto, cholesky.ForceTTC}
-		if cfg.Uniform {
-			// Uniform-precision baselines have no precision mismatch; STC
-			// and TTC coincide, so report a single line.
-			strategies = strategies[:1]
+	pts := convGrid(sizes)
+	opts := so.sweepOptions()
+	opts.Cache = cache
+	return sweep.Run(len(pts), opts, func(i int, ctx *sweep.Context) (ConvRow, error) {
+		p := pts[i]
+		pg, qg := tile.SquarestGrid(plat.Ranks)
+		desc, err := tile.NewDesc(p.n, ts, pg, qg)
+		if err != nil {
+			return ConvRow{}, err
 		}
-		for _, strat := range strategies {
-			for _, n := range sizes {
-				pg, qg := tile.SquarestGrid(plat.Ranks)
-				desc, err := tile.NewDesc(n, ts, pg, qg)
-				if err != nil {
-					return nil, err
-				}
-				maps := precmap.New(cfg.KernelMap(desc.NT), 1e-2)
-				res, err := cholesky.RunCached(cholesky.Config{
-					Desc: desc, Maps: maps, Platform: plat, Strategy: strat,
-					Faults: faults, Sched: pol, Bcast: topo,
-				}, cache)
-				if err != nil {
-					return nil, fmt.Errorf("bench: %s %v n=%d: %w", cfg.Name, strat, n, err)
-				}
-				peak := node.GPU.SupportedPeak(cfg.OffDiag) * float64(plat.NumDevices())
-				rows = append(rows, ConvRow{
-					Config:   cfg.Name,
-					Strategy: strat.String(),
-					N:        n,
-					Tflops:   res.Stats.Flops / 1e12,
-					Time:     res.Stats.Makespan,
-					BytesH2D: res.Stats.BytesH2D,
-					BytesNet: res.Stats.BytesNet,
-					PctPeak:  100 * res.Stats.Flops / peak,
-				})
-			}
+		maps := precmap.New(p.cfg.KernelMap(desc.NT), 1e-2)
+		res, err := cholesky.RunCached(cholesky.Config{
+			Desc: desc, Maps: maps, Platform: plat, Strategy: p.strat,
+			Faults: faults, Sched: pol, Bcast: topo,
+		}, ctx.Cache)
+		if err != nil {
+			return ConvRow{}, fmt.Errorf("bench: %s %v n=%d: %w", p.cfg.Name, p.strat, p.n, err)
 		}
-	}
-	return rows, nil
+		ctx.Reg.Merge(res.Metrics())
+		peak := node.GPU.SupportedPeak(p.cfg.OffDiag) * float64(plat.NumDevices())
+		return ConvRow{
+			Config:   p.cfg.Name,
+			Strategy: p.strat.String(),
+			N:        p.n,
+			Tflops:   res.Stats.Flops / 1e12,
+			Time:     res.Stats.Makespan,
+			BytesH2D: res.Stats.BytesH2D,
+			BytesNet: res.Stats.BytesNet,
+			PctPeak:  100 * res.Stats.Flops / peak,
+			Digest:   res.Digest(),
+		}, nil
+	})
 }

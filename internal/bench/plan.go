@@ -10,6 +10,7 @@ import (
 	"geompc/internal/prec"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
+	"geompc/internal/sweep"
 	"geompc/internal/tile"
 )
 
@@ -36,6 +37,17 @@ type PlanRow struct {
 // mismatch is returned as an error, making the ablation double as a
 // self-check.
 func PlanAblation(n, ts, k int, node *hw.NodeSpec) ([]PlanRow, error) {
+	return PlanAblationOpts(n, ts, k, node, SweepOpts{})
+}
+
+// PlanAblationOpts is PlanAblation routed through the sweep executor: a
+// two-point grid (the fresh loop and the cached loop), each running its
+// k-evaluation loop serially inside its point. The digest cross-check and
+// the speedup column are computed after the sweep, so the rows carry the
+// same self-check at any worker count — though with Workers > 0 the two
+// variants time-share cores and the wall-clock comparison loses meaning;
+// keep this family serial when the speedup column matters.
+func PlanAblationOpts(n, ts, k int, node *hw.NodeSpec, so SweepOpts) ([]PlanRow, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("bench: plan ablation needs k >= 2 evaluations, got %d", k)
 	}
@@ -50,40 +62,61 @@ func PlanAblation(n, ts, k int, node *hw.NodeSpec) ([]PlanRow, error) {
 	maps := precmap.New(ConvConfig{OffDiag: prec.FP16x32}.KernelMap(desc.NT), 1e-4)
 	cfg := cholesky.Config{Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto}
 
-	var freshDigest uint64
-	start := time.Now()
-	for i := 0; i < k; i++ {
-		res, err := cholesky.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("bench: plan ablation fresh eval %d: %w", i, err)
-		}
-		freshDigest = res.Digest()
+	type variant struct {
+		row    PlanRow
+		digest uint64
 	}
-	freshWall := time.Since(start).Seconds()
-
-	cache := planpkg.NewCache(nil)
-	start = time.Now()
-	for i := 0; i < k; i++ {
-		res, err := cholesky.RunCached(cfg, cache)
-		if err != nil {
-			return nil, fmt.Errorf("bench: plan ablation cached eval %d: %w", i, err)
+	outs, err := sweep.Run(2, so.sweepOptions(), func(i int, ctx *sweep.Context) (variant, error) {
+		if i == 0 {
+			var digest uint64
+			start := time.Now()
+			for e := 0; e < k; e++ {
+				res, err := cholesky.Run(cfg)
+				if err != nil {
+					return variant{}, fmt.Errorf("bench: plan ablation fresh eval %d: %w", e, err)
+				}
+				digest = res.Digest()
+			}
+			wall := time.Since(start).Seconds()
+			return variant{row: PlanRow{Variant: "fresh", Evals: k, Wall: wall, Speedup: 1}, digest: digest}, nil
 		}
-		if res.Digest() != freshDigest {
-			return nil, fmt.Errorf("bench: plan ablation: cached digest %016x != fresh %016x at eval %d",
-				res.Digest(), freshDigest, i)
+		cache := planpkg.NewCache(ctx.Reg)
+		var digest uint64
+		start := time.Now()
+		for e := 0; e < k; e++ {
+			res, err := cholesky.RunCached(cfg, cache)
+			if err != nil {
+				return variant{}, fmt.Errorf("bench: plan ablation cached eval %d: %w", e, err)
+			}
+			if e == 0 {
+				digest = res.Digest()
+			} else if res.Digest() != digest {
+				return variant{}, fmt.Errorf("bench: plan ablation: cached digest %016x != %016x at eval %d",
+					res.Digest(), digest, e)
+			}
 		}
+		wall := time.Since(start).Seconds()
+		s := cache.Stats()
+		return variant{
+			row: PlanRow{
+				Variant: "plan-cache", Evals: k, Wall: wall,
+				Hits: s.Hits, Misses: s.Misses, Invalidations: s.Invalidations,
+			},
+			digest: digest,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	cachedWall := time.Since(start).Seconds()
-
-	s := cache.Stats()
-	return []PlanRow{
-		{Variant: "fresh", Evals: k, Wall: freshWall, Speedup: 1},
-		{
-			Variant: "plan-cache", Evals: k, Wall: cachedWall,
-			Speedup: freshWall / cachedWall,
-			Hits:    s.Hits, Misses: s.Misses, Invalidations: s.Invalidations,
-		},
-	}, nil
+	if outs[0].digest != outs[1].digest {
+		return nil, fmt.Errorf("bench: plan ablation: cached digest %016x != fresh %016x",
+			outs[1].digest, outs[0].digest)
+	}
+	fresh, cached := outs[0].row, outs[1].row
+	if cached.Wall > 0 {
+		cached.Speedup = fresh.Wall / cached.Wall
+	}
+	return []PlanRow{fresh, cached}, nil
 }
 
 // ConvSweepCached is ConvSweepOpts routed through a compiled-plan cache.

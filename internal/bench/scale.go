@@ -7,10 +7,12 @@ import (
 	"geompc/internal/cholesky"
 	"geompc/internal/geo"
 	"geompc/internal/hw"
+	"geompc/internal/obs"
 	"geompc/internal/prec"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
 	"geompc/internal/stats"
+	"geompc/internal/sweep"
 	"geompc/internal/tile"
 )
 
@@ -25,6 +27,9 @@ type ScaleRow struct {
 	PctPeak float64
 	// Speedup vs. the FP64 run of the same N/GPU count (Fig 12c).
 	Speedup float64
+	// Digest is the run's FNV-1a schedule digest — the value the parallel
+	// sweep executor must reproduce bit for bit against a serial sweep.
+	Digest uint64
 }
 
 // scaleConfig is either a uniform baseline or an application map.
@@ -49,7 +54,9 @@ func scaleConfigs(withFP32 bool) []scaleConfig {
 // runScale executes one phantom factorization on `nodes` Summit nodes,
 // optionally under a fault plan (runtime.ParseFaultSpec grammar; empty
 // means fault-free) and a named scheduling policy / broadcast topology.
-func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64, faultSpec string, so SchedOpts) (ScaleRow, error) {
+// A non-nil reg receives the run's engine metrics (the sweep executor
+// passes each point's registry shard here).
+func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64, faultSpec string, so SchedOpts, reg *obs.Registry) (ScaleRow, error) {
 	pol, topo, err := so.Resolve()
 	if err != nil {
 		return ScaleRow{}, err
@@ -90,6 +97,9 @@ func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64, faultSpec string, 
 	if err != nil {
 		return ScaleRow{}, fmt.Errorf("bench: scale %s nodes=%d n=%d: %w", cfg.name, nodes, n, err)
 	}
+	if reg != nil {
+		reg.Merge(res.Metrics())
+	}
 	gpus := plat.NumDevices()
 	peak := hw.V100.SupportedPeak(prec.FP64) * float64(gpus)
 	return ScaleRow{
@@ -97,6 +107,7 @@ func runScale(cfg scaleConfig, nodes, n, ts int, seed uint64, faultSpec string, 
 		Tflops:  res.Stats.Flops / 1e12,
 		Time:    res.Stats.Makespan,
 		PctPeak: 100 * res.Stats.Flops / peak,
+		Digest:  res.Digest(),
 	}, nil
 }
 
@@ -113,20 +124,16 @@ func WeakScalingFaults(nodeCounts []int, baseN, ts int, faultSpec string) ([]Sca
 }
 
 // WeakScalingOpts is the fully parameterized weak-scaling sweep: a fault
-// plan plus a named scheduling policy and broadcast topology.
+// plan plus a named scheduling policy and broadcast topology, one sweep
+// point per node count (parallel when so.Workers > 0).
 func WeakScalingOpts(nodeCounts []int, baseN, ts int, faultSpec string, so SchedOpts) ([]ScaleRow, error) {
-	var rows []ScaleRow
 	base := float64(nodeCounts[0])
-	for _, nodes := range nodeCounts {
+	return sweep.Run(len(nodeCounts), so.sweepOptions(), func(i int, ctx *sweep.Context) (ScaleRow, error) {
+		nodes := nodeCounts[i]
 		n := int(float64(baseN) * math.Sqrt(float64(nodes)/base))
 		n = (n + ts - 1) / ts * ts
-		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1, faultSpec, so)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+		return runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1, faultSpec, so, ctx.Reg)
+	})
 }
 
 // StrongScaling runs Fig 12b: fixed matrix size (the paper uses 798,720)
@@ -142,28 +149,25 @@ func StrongScalingFaults(nodeCounts []int, n, ts int, faultSpec string) ([]Scale
 }
 
 // StrongScalingOpts is the fully parameterized strong-scaling sweep: a
-// fault plan plus a named scheduling policy and broadcast topology.
+// fault plan plus a named scheduling policy and broadcast topology, one
+// sweep point per node count (parallel when so.Workers > 0).
 func StrongScalingOpts(nodeCounts []int, n, ts int, faultSpec string, so SchedOpts) ([]ScaleRow, error) {
-	var rows []ScaleRow
-	for _, nodes := range nodeCounts {
-		r, err := runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodes, n, ts, 1, faultSpec, so)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+	return sweep.Run(len(nodeCounts), so.sweepOptions(), func(i int, ctx *sweep.Context) (ScaleRow, error) {
+		return runScale(scaleConfig{name: "FP64", uniform: prec.FP64}, nodeCounts[i], n, ts, 1, faultSpec, so, ctx.Reg)
+	})
 }
 
 // MPEffect runs Fig 12c: on a fixed node count (the paper uses 64 nodes =
 // 384 GPUs), FP64 and FP32 baselines and the three applications' adaptive
-// MP across a matrix-size sweep, reporting speedup over FP64.
+// MP across a matrix-size sweep, reporting speedup over FP64. The speedup
+// column chains each row to the FP64 baseline of its size, so this family
+// stays serial.
 func MPEffect(nodes int, sizes []int, ts int) ([]ScaleRow, error) {
 	var rows []ScaleRow
 	fp64 := make(map[int]float64) // n -> time
 	for _, cfg := range scaleConfigs(true) {
 		for _, n := range sizes {
-			r, err := runScale(cfg, nodes, n, ts, 2, "", SchedOpts{})
+			r, err := runScale(cfg, nodes, n, ts, 2, "", SchedOpts{}, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,102 @@
+// Package cliflags centralizes the flag groups the benchmark CLIs share —
+// scheduling policy and broadcast topology, fault-plan injection, the
+// compiled-plan cache toggle, and the parallel-sweep worker count — so the
+// four front-ends (trace, convbench, scale, ablation) register identical
+// spellings and help text instead of four hand-copied blocks.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"geompc/internal/bench"
+	"geompc/internal/runtime"
+)
+
+// Set selects which flag groups Register installs; or the groups together.
+type Set uint
+
+const (
+	// Sched registers -sched and -bcast.
+	Sched Set = 1 << iota
+	// Faults registers -faults.
+	Faults
+	// PlanCache registers -plan-cache.
+	PlanCache
+	// Workers registers -workers.
+	Workers
+)
+
+// Values holds the parsed values of the registered groups; fields of
+// unregistered groups stay at their zero value. Read only after the flag
+// set has been parsed.
+type Values struct {
+	// Sched and Bcast are the -sched / -bcast names (sched.ByName and
+	// comm.TopologyByName spellings; empty = engine default).
+	Sched string
+	Bcast string
+	// Faults is the -faults spec (runtime.ParseFaultSpec grammar; empty =
+	// fault-free).
+	Faults string
+	// PlanCache is the -plan-cache toggle.
+	PlanCache bool
+	// Workers is the -workers count: 0 = serial, n > 0 = n-worker pool,
+	// negative = GOMAXPROCS.
+	Workers int
+}
+
+// Register installs the selected flag groups on fs and returns the holder
+// their parsed values land in.
+func Register(fs *flag.FlagSet, set Set) *Values {
+	v := &Values{}
+	if set&Sched != 0 {
+		fs.StringVar(&v.Sched, "sched", "", "scheduling policy: fifo (default), locality, cp")
+		fs.StringVar(&v.Bcast, "bcast", "", "broadcast topology: binomial (default), flat, chain")
+	}
+	if set&Faults != 0 {
+		fs.StringVar(&v.Faults, "faults", "", "fault plan injected into every run (see runtime.ParseFaultSpec)")
+	}
+	if set&PlanCache != 0 {
+		fs.BoolVar(&v.PlanCache, "plan-cache", false, "route runs through a compiled-plan cache and print the hit/miss/invalidation counters")
+	}
+	if set&Workers != 0 {
+		fs.IntVar(&v.Workers, "workers", 0, "parallel sweep workers: 0 = serial, -1 = one per core; results are bit-identical at any setting")
+	}
+	return v
+}
+
+// SchedOpts assembles the bench-level sweep options from the parsed
+// values (policy and topology names plus the worker count).
+func (v *Values) SchedOpts() bench.SchedOpts {
+	return bench.SchedOpts{Policy: v.Sched, Bcast: v.Bcast, SweepOpts: v.SweepOpts()}
+}
+
+// SweepOpts returns just the sweep-execution knobs.
+func (v *Values) SweepOpts() bench.SweepOpts {
+	return bench.SweepOpts{Workers: v.Workers}
+}
+
+// Injector parses the -faults value against the platform's device count;
+// an empty value returns a nil injector (fault-free).
+func (v *Values) Injector(numDevices int) (runtime.FaultInjector, error) {
+	if v.Faults == "" {
+		return nil, nil
+	}
+	return runtime.ParseFaultSpec(v.Faults, numDevices)
+}
+
+// ParseSizes parses a comma-separated list of positive integers — the
+// shared grammar of the -sizes and -nodes flags.
+func ParseSizes(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		val, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || val <= 0 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, val)
+	}
+	return out, nil
+}

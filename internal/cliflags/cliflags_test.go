@@ -1,0 +1,94 @@
+package cliflags
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&strings.Builder{})
+	return fs
+}
+
+func TestRegisterSelectsGroups(t *testing.T) {
+	fs := newFS()
+	v := Register(fs, Sched|Faults|PlanCache|Workers)
+	err := fs.Parse([]string{
+		"-sched", "locality", "-bcast", "chain",
+		"-faults", "kill:dev=1,at=0.5", "-plan-cache", "-workers", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Values{Sched: "locality", Bcast: "chain", Faults: "kill:dev=1,at=0.5", PlanCache: true, Workers: 4}
+	if *v != want {
+		t.Errorf("parsed %+v, want %+v", *v, want)
+	}
+
+	so := v.SchedOpts()
+	if so.Policy != "locality" || so.Bcast != "chain" || so.Workers != 4 {
+		t.Errorf("SchedOpts() = %+v", so)
+	}
+	if sw := v.SweepOpts(); sw.Workers != 4 {
+		t.Errorf("SweepOpts() = %+v", sw)
+	}
+}
+
+func TestRegisterOmitsUnselectedGroups(t *testing.T) {
+	fs := newFS()
+	Register(fs, Workers)
+	for _, name := range []string{"sched", "bcast", "faults", "plan-cache"} {
+		if fs.Lookup(name) != nil {
+			t.Errorf("flag -%s registered without its group", name)
+		}
+	}
+	if fs.Lookup("workers") == nil {
+		t.Error("flag -workers missing")
+	}
+	if err := fs.Parse([]string{"-sched", "fifo"}); err == nil {
+		t.Error("unregistered -sched accepted")
+	}
+}
+
+func TestInjector(t *testing.T) {
+	v := &Values{}
+	if inj, err := v.Injector(2); err != nil || inj != nil {
+		t.Errorf("empty spec: injector=%v err=%v, want nil/nil", inj, err)
+	}
+	v.Faults = "kill:dev=1,at=0.5"
+	inj, err := v.Injector(2)
+	if err != nil || inj == nil {
+		t.Errorf("valid spec: injector=%v err=%v", inj, err)
+	}
+	v.Faults = "kill:dev=9,at=0.5"
+	if _, err := v.Injector(2); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+	v.Faults = "nonsense"
+	if _, err := v.Injector(2); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := ParseSizes("16384, 32768,49152")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{16384, 32768, 49152}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "12,abc", "12,,13", "0", "-4", "12;13"} {
+		if out, err := ParseSizes(bad); err == nil {
+			t.Errorf("ParseSizes(%q) = %v, want error", bad, out)
+		}
+	}
+}

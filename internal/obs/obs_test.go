@@ -191,3 +191,99 @@ func TestChromeTraceJSON(t *testing.T) {
 		t.Error("metadata events not first")
 	}
 }
+
+func TestRegistryMerge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("c").Add(2)
+	dst.Gauge("g").Set(1.5)
+	dst.Histogram("h", []float64{1, 10}).Observe(0.5)
+
+	src := NewRegistry()
+	src.Counter("c").Add(3)
+	src.Counter("c2").Add(7)
+	src.Gauge("g").Set(2.5)
+	src.Gauge("g2").Set(4)
+	sh := src.Histogram("h", []float64{1, 10})
+	sh.Observe(5)
+	sh.Observe(500)
+	src.Histogram("h2", []float64{2, 4}).Observe(3)
+
+	dst.Merge(src)
+	if got := dst.Counter("c").Value(); got != 5 {
+		t.Errorf("merged counter c = %d, want 5", got)
+	}
+	if got := dst.Counter("c2").Value(); got != 7 {
+		t.Errorf("merged counter c2 = %d, want 7", got)
+	}
+	if got := dst.Gauge("g").Value(); got != 4 {
+		t.Errorf("merged gauge g = %g, want 4 (gauges add)", got)
+	}
+	if got := dst.Gauge("g2").Value(); got != 4 {
+		t.Errorf("merged gauge g2 = %g, want 4", got)
+	}
+	h := dst.Histogram("h", []float64{1, 10})
+	if h.Count() != 3 || h.Sum() != 505.5 {
+		t.Errorf("merged histogram h: count=%d sum=%g, want 3/505.5", h.Count(), h.Sum())
+	}
+	_, counts := h.Buckets()
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("merged bucket counts = %v, want [1 1 1]", counts)
+	}
+	h2 := dst.Histogram("h2", []float64{2, 4})
+	if h2.Count() != 1 || h2.Sum() != 3 {
+		t.Errorf("merged new histogram h2: count=%d sum=%g", h2.Count(), h2.Sum())
+	}
+
+	// Merging nil or self must be a no-op.
+	dst.Merge(nil)
+	dst.Merge(dst)
+	if got := dst.Counter("c").Value(); got != 5 {
+		t.Errorf("counter after nil/self merge = %d, want 5", got)
+	}
+}
+
+// TestRegistryMergeBoundsMismatch: a histogram merged under different bucket
+// bounds keeps its summaries exact and folds the foreign buckets into +Inf.
+func TestRegistryMergeBoundsMismatch(t *testing.T) {
+	dst := NewRegistry()
+	dh := dst.Histogram("h", []float64{1, 10})
+	dh.Observe(0.5)
+	src := NewRegistry()
+	src.Histogram("h", []float64{100}).Observe(50)
+
+	dst.Merge(src)
+	if dh.Count() != 2 || dh.Sum() != 50.5 {
+		t.Errorf("count=%d sum=%g, want 2/50.5", dh.Count(), dh.Sum())
+	}
+	_, counts := dh.Buckets()
+	if counts[len(counts)-1] != 1 {
+		t.Errorf("+Inf bucket = %d, want 1 (foreign-bounds fold)", counts[len(counts)-1])
+	}
+}
+
+// TestRegistryMergeDeterministic: merging the same shards in the same order
+// yields bit-identical snapshots — the sweep executor's guarantee.
+func TestRegistryMergeDeterministic(t *testing.T) {
+	shard := func(i int) *Registry {
+		r := NewRegistry()
+		r.Counter("tasks").Add(int64(i))
+		r.Gauge("busy").Add(0.1 * float64(i))
+		r.Histogram("lat", []float64{1e-3, 1}).Observe(float64(i))
+		return r
+	}
+	render := func() string {
+		m := NewRegistry()
+		for i := 0; i < 8; i++ {
+			m.Merge(shard(i))
+		}
+		var sb strings.Builder
+		if _, err := m.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("two identical merge sequences rendered differently:\n%s\n---\n%s", a, b)
+	}
+}

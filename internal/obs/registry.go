@@ -197,6 +197,120 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Merge folds every metric of src into r: counters and gauges add, and
+// histograms with identical bucket bounds add bucket-wise (count, sum, min
+// and max fold alongside; histograms whose bounds differ fold their
+// summaries and drop src's bucket counts into r's +Inf bucket). Merging is
+// the sweep executor's aggregation primitive — per-point registry shards
+// fold into one merged registry in submission order, so repeated merges of
+// the same shards in the same order produce bit-identical snapshots.
+// Merge locks src before r is touched; do not call a.Merge(b) and
+// b.Merge(a) concurrently.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	// Snapshot src's contents first (names sorted, values copied) so no two
+	// registry locks are ever held at once.
+	type histCopy struct {
+		name   string
+		bounds []float64
+		counts []int64
+		count  int64
+		sum    float64
+		min    float64
+		max    float64
+	}
+	var (
+		counterNames, gaugeNames []string
+		counterVals              []int64
+		gaugeVals                []float64
+		hists                    []histCopy
+	)
+	src.mu.Lock()
+	for name := range src.counters {
+		counterNames = append(counterNames, name)
+	}
+	sort.Strings(counterNames)
+	for _, name := range counterNames {
+		counterVals = append(counterVals, src.counters[name].Value())
+	}
+	for name := range src.gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
+	sort.Strings(gaugeNames)
+	for _, name := range gaugeNames {
+		gaugeVals = append(gaugeVals, src.gauges[name].Value())
+	}
+	var histNames []string
+	for name := range src.hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := src.hists[name]
+		h.mu.Lock()
+		hists = append(hists, histCopy{
+			name:   name,
+			bounds: append([]float64(nil), h.bounds...),
+			counts: append([]int64(nil), h.counts...),
+			count:  h.count, sum: h.sum, min: h.min, max: h.max,
+		})
+		h.mu.Unlock()
+	}
+	src.mu.Unlock()
+
+	for i, name := range counterNames {
+		if counterVals[i] != 0 {
+			r.Counter(name).Add(counterVals[i])
+		}
+	}
+	for i, name := range gaugeNames {
+		r.Gauge(name).Add(gaugeVals[i])
+	}
+	for _, hc := range hists {
+		r.Histogram(hc.name, hc.bounds).merge(hc.bounds, hc.counts, hc.count, hc.sum, hc.min, hc.max)
+	}
+}
+
+// merge folds a copied histogram state into h (see Registry.Merge).
+func (h *Histogram) merge(bounds []float64, counts []int64, count int64, sum, min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(bounds) == len(h.bounds) {
+		same := true
+		for i := range bounds {
+			if bounds[i] != h.bounds[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i := range counts {
+				h.counts[i] += counts[i]
+			}
+		} else {
+			for _, c := range counts {
+				h.counts[len(h.counts)-1] += c
+			}
+		}
+	} else {
+		for _, c := range counts {
+			h.counts[len(h.counts)-1] += c
+		}
+	}
+	if count > 0 {
+		if h.count == 0 || min < h.min {
+			h.min = min
+		}
+		if h.count == 0 || max > h.max {
+			h.max = max
+		}
+		h.count += count
+		h.sum += sum
+	}
+}
+
 // Reset drops every metric (used between engine runs).
 func (r *Registry) Reset() {
 	r.mu.Lock()

@@ -9,9 +9,21 @@ import (
 // Cache holds at most one compiled plan per shape signature and counts how
 // the cache behaves — hits (pure replays), misses (first compiles),
 // invalidations (precision-map deltas forcing recompiles) and bypasses
-// (armed fault runs that must stay live). It is safe for concurrent use;
-// the expected pattern is one cache per repeated-workload loop (an MLE fit,
-// a Monte-Carlo replica, a sweep).
+// (armed fault runs that must stay live). The expected pattern is one cache
+// per repeated-workload loop (an MLE fit, a Monte-Carlo replica, a sweep).
+//
+// Concurrency contract: a Cache is safe for any number of concurrent
+// readers and writers — the map is guarded by mu, the counters are atomic,
+// and a *Plan is immutable once Compile returns, so a plan obtained from
+// Lookup may be replayed (Plan.Replay) or diffed (Plan.Invalidate) while
+// another goroutine Stores a successor for the same signature; the reader
+// keeps its own consistent snapshot. What the contract does NOT promise is
+// counter determinism under sharing: when sweep workers share one cache,
+// which worker wins the compile race (and therefore how many misses or
+// invalidations are counted) depends on scheduling. Results never do —
+// every worker either replays a frozen plan or compiles its own, both
+// bit-identical to a fresh run — so shared-cache sweeps stay exact while
+// Stats() becomes a diagnostic, not a pinned series.
 type Cache struct {
 	mu    sync.Mutex
 	plans map[uint64]*Plan

@@ -41,7 +41,10 @@ import (
 const opComplete = uint32(1) << 31
 
 // Plan is one compiled schedule, reusable for any graph with the same shape
-// signature and precision signature.
+// signature and precision signature. A Plan is immutable once Compile
+// returns: Replay and Invalidate only read it, so one Plan may serve any
+// number of concurrent replays (each builds its own graph and pool) — the
+// property Cache's concurrency contract leans on.
 type Plan struct {
 	// Sig is the caller-supplied shape signature (platform, tiling,
 	// strategy, policy, topology, front-end — everything except the
