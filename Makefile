@@ -29,9 +29,11 @@ race:
 # 256x256 GEMM + SYRK/TRSM kernels, the phantom NT=64 Cholesky, the
 # Fig 12 weak-scaling step, the plan-cache ablation pair (fresh
 # simulation vs compiled-plan replay on the MLE-shaped loop), and the
-# parallel-sweep pair (serial reference vs 4-worker pool; run at -cpu 4
-# — benchjson records GOMAXPROCS per line, so the pair is honest even
-# on smaller hosts). BENCHTIME=1x gives a CI smoke run; the committed
+# parallel-sweep pair (serial reference vs 4-worker pool) and the
+# parallel-DES pair (serial event loop vs 4 rank loops on a multi-rank
+# phantom run); both pairs run at -cpu 4 — benchjson records GOMAXPROCS
+# per line, so they stay honest even on smaller hosts.
+# BENCHTIME=1x gives a CI smoke run; the committed
 # artifact uses 5x against the seed baseline in results/bench_seed.txt.
 BENCHTIME ?= 5x
 
@@ -39,7 +41,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'GemmNT256|SyrkTrsm256' -benchmem -benchtime $(BENCHTIME) -cpu 1 ./internal/linalg/ > results/bench_after.txt
 	$(GO) test -run '^$$' -bench 'PhantomNT64$$' -benchmem -benchtime $(BENCHTIME) -cpu 1 ./internal/cholesky/ >> results/bench_after.txt
 	$(GO) test -run '^$$' -bench 'Fig12WeakStep|PlanAblationMLE' -benchmem -benchtime $(BENCHTIME) -cpu 1 ./internal/bench/ >> results/bench_after.txt
-	$(GO) test -run '^$$' -bench 'SweepParallel' -benchmem -benchtime $(BENCHTIME) -cpu 4 ./internal/bench/ >> results/bench_after.txt
+	$(GO) test -run '^$$' -bench 'SweepParallel|DESParallel' -benchmem -benchtime $(BENCHTIME) -cpu 4 ./internal/bench/ >> results/bench_after.txt
 	$(GO) run ./cmd/benchjson -seed results/bench_seed.txt < results/bench_after.txt > BENCH_kernels.json
 
 bench-all:

@@ -52,3 +52,17 @@ func TestRunWorkersMatchesSerial(t *testing.T) {
 		t.Errorf("missing sweep summary:\n%s", par.String())
 	}
 }
+
+func TestRunEngineWorkersMatchesSerial(t *testing.T) {
+	args := []string{"-machine", "Summit", "-gpus", "1", "-sizes", "8192"}
+	var serial, par bytes.Buffer
+	if err := run(args, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-engine-workers", "2"), &par); err != nil {
+		t.Fatal(err)
+	}
+	if par.String() != serial.String() {
+		t.Errorf("-engine-workers 2 changed the tables:\nserial:\n%s\nparallel:\n%s", serial.String(), par.String())
+	}
+}

@@ -44,7 +44,7 @@ func run(args []string, out io.Writer) error {
 	chrome := fs.String("chrome", "", "write the timeline as Chrome trace-event JSON to this file")
 	audit := fs.Bool("audit", false, "run the engine's invariant auditor; violations are fatal")
 	metrics := fs.Bool("metrics", false, "dump the run's metrics registry after the schedule")
-	v := cliflags.Register(fs, cliflags.Sched|cliflags.Faults|cliflags.PlanCache)
+	v := cliflags.Register(fs, cliflags.Sched|cliflags.Faults|cliflags.PlanCache|cliflags.EngineWorkers)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,7 +71,7 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg := cholesky.Config{
 		Desc: d, Maps: maps, Platform: plat, Trace: true, Audit: *audit, Faults: injector,
-		Sched: pol, Bcast: topo,
+		Sched: pol, Bcast: topo, EngineWorkers: v.EngineWorkers,
 	}
 	var cache *planpkg.Cache
 	if v.PlanCache {

@@ -65,3 +65,17 @@ func TestRunPlanCacheRefusesChrome(t *testing.T) {
 		t.Fatal("-plan-cache with -chrome must fail")
 	}
 }
+
+func TestRunEngineWorkersMatchesSerial(t *testing.T) {
+	args := []string{"-nt", "4", "-gpus", "2"}
+	var serial, par bytes.Buffer
+	if err := run(args, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-engine-workers", "2"), &par); err != nil {
+		t.Fatal(err)
+	}
+	if par.String() != serial.String() {
+		t.Errorf("-engine-workers 2 changed the output:\nserial:\n%s\nparallel:\n%s", serial.String(), par.String())
+	}
+}

@@ -60,7 +60,10 @@ func PlanAblationOpts(n, ts, k int, node *hw.NodeSpec, so SweepOpts) ([]PlanRow,
 		return nil, err
 	}
 	maps := precmap.New(ConvConfig{OffDiag: prec.FP16x32}.KernelMap(desc.NT), 1e-4)
-	cfg := cholesky.Config{Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto}
+	cfg := cholesky.Config{
+		Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto,
+		EngineWorkers: so.EnginePerPoint(2),
+	}
 
 	type variant struct {
 		row    PlanRow

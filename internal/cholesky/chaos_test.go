@@ -2,6 +2,7 @@ package cholesky
 
 import (
 	"math"
+	"reflect"
 	gort "runtime"
 	"testing"
 
@@ -192,6 +193,73 @@ func TestChaosFlakyAndSlow(t *testing.T) {
 	}
 	if got := toBits(chaos.Matrix.ToDense()); !sameBits(got, want) {
 		t.Error("factor changed under flaky/slow faults (they must only cost virtual time)")
+	}
+}
+
+// TestChaosParallelWorkers is the parallel-engine chaos table: the existing
+// chaos scenarios are single-rank (where EngineWorkers falls back to the
+// serial loop), so this drives a mid-run device kill and a transient fault
+// on a multi-rank numeric factorization across a worker-count axis. Every
+// worker count must recover to the bit-identical fault-free factor, under a
+// clean audit, with a schedule digest and stats equal to the serial chaos
+// run's — device failure and replay handling must not depend on how many
+// rank loops execute concurrently.
+func TestChaosParallelWorkers(t *testing.T) {
+	const nt, ranks, gpr = 7, 2, 2
+	clean, _ := buildNumericConfig(t, nt, ranks, gpr)
+	ref, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	want := toBits(clean.Matrix.ToDense())
+	mk := ref.Stats.Makespan
+
+	for _, fault := range []struct {
+		name string
+		plan runtime.FaultPlan
+	}{
+		{"kill", runtime.FaultPlan{{Kind: runtime.FaultKill, Device: 1, At: mk * 0.4}}},
+		{"flaky", runtime.FaultPlan{{Kind: runtime.FaultTransient, Device: 2, At: mk * 0.3, Backoff: mk * 0.01}}},
+	} {
+		fault := fault
+		t.Run(fault.name, func(t *testing.T) {
+			var serial *Result
+			for _, w := range []int{0, 1, 2, 4} {
+				cfg, _ := buildNumericConfig(t, nt, ranks, gpr)
+				cfg.Faults = fault.plan
+				cfg.Audit = true
+				cfg.EngineWorkers = w
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if res.Err != nil {
+					t.Fatalf("workers=%d: numeric failure: %v", w, res.Err)
+				}
+				if got := toBits(cfg.Matrix.ToDense()); !sameBits(got, want) {
+					t.Errorf("workers=%d: recovered factor differs from the fault-free factor", w)
+				}
+				if res.Stats.Tasks != ref.Stats.Tasks {
+					t.Errorf("workers=%d: completed %d tasks, fault-free %d", w, res.Stats.Tasks, ref.Stats.Tasks)
+				}
+				if w == 0 {
+					serial = res
+					if fault.name == "kill" && res.Stats.DeviceFailures != 1 {
+						t.Errorf("DeviceFailures = %d, want 1", res.Stats.DeviceFailures)
+					}
+					continue
+				}
+				if res.Digest() != serial.Digest() {
+					t.Errorf("workers=%d: chaos digest %#x != serial chaos %#x", w, res.Digest(), serial.Digest())
+				}
+				if !reflect.DeepEqual(res.Stats, serial.Stats) {
+					t.Errorf("workers=%d: chaos stats diverged from serial chaos run", w)
+				}
+			}
+		})
 	}
 }
 

@@ -153,14 +153,22 @@ func TestDTDDoubleWriteRejected(t *testing.T) {
 	}
 }
 
-func TestDTDSealedAfterSpec(t *testing.T) {
+func TestDTDSealedAfterSeal(t *testing.T) {
 	g := runtime.NewDTDGraph()
 	if _, err := g.Insert(runtime.TaskSpec{Kind: hw.KindGemm, Device: 0, Prec: prec.FP64},
 		runtime.Access{Data: 1, Mode: runtime.Write, WireBytes: 8}); err != nil {
 		t.Fatal(err)
 	}
+	// Spec is a pure read (parallel-mode shards call it concurrently); it
+	// must not latch the seal.
 	var s runtime.TaskSpec
 	g.Spec(0, &s)
+	if _, err := g.Insert(runtime.TaskSpec{Kind: hw.KindGemm, Device: 0, Prec: prec.FP64},
+		runtime.Access{Data: 2, Mode: runtime.Write, WireBytes: 8}); err != nil {
+		t.Errorf("insertion after a Spec read was rejected: %v", err)
+	}
+	// The engine seals at Run start; after that, insertion fails.
+	g.Seal()
 	if _, err := g.Insert(runtime.TaskSpec{}); err == nil {
 		t.Error("insertion after execution started was accepted")
 	}

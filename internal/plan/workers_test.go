@@ -1,0 +1,120 @@
+package plan_test
+
+// Engine-workers axis of the plan cache: EngineWorkers is deliberately
+// absent from the plan shape signature (the parallel engine's schedules are
+// bit-identical to serial), so plans must flow freely across modes — a plan
+// compiled under the serial loop replays parallel configs, a plan compiled
+// under the parallel engine replays serial configs, and the cache serves
+// hits across the boundary.
+
+import (
+	"testing"
+
+	"geompc/internal/cholesky"
+	"geompc/internal/plan"
+)
+
+// TestGoldenReplayDigestsParallel re-runs the golden-replay grid with the
+// compile pass executed on the parallel engine: every policy × topology pair
+// must still reproduce its pinned digest, and the compiled plan must replay
+// a serial config. The pinned constants were recorded from the serial loop,
+// so this is the cross-mode equivalence stated digest-for-digest.
+func TestGoldenReplayDigestsParallel(t *testing.T) {
+	for key, want := range goldenReplayDigests {
+		key, want := key, want
+		t.Run(key[0]+"-"+key[1], func(t *testing.T) {
+			t.Parallel()
+			cfg := newConfig(t, 6, 4, 2, 1e-8, key[0], key[1])
+			cfg.EngineWorkers = 4
+			p, err := cholesky.Compile(cfg)
+			if err != nil {
+				t.Fatalf("parallel compile: %v", err)
+			}
+			if p.Stats.ScheduleDigest != want {
+				t.Fatalf("parallel compile digest 0x%016x, pinned 0x%016x", p.Stats.ScheduleDigest, want)
+			}
+			rcfg := newConfig(t, 6, 4, 2, 1e-8, key[0], key[1])
+			res, err := cholesky.Replay(rcfg, p) // serial config, parallel-compiled plan
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if res.Digest() != want {
+				t.Fatalf("replay digest 0x%016x, pinned 0x%016x", res.Digest(), want)
+			}
+		})
+	}
+}
+
+// TestPlanCrossesEngineModes pins the cache-level contract: serial-compiled
+// plans serve parallel configs as cache hits and vice versa, and the factor
+// a cross-mode replay produces is bit-identical to a fresh run's.
+func TestPlanCrossesEngineModes(t *testing.T) {
+	const nt, ranks, gpr = 6, 4, 2
+
+	// Fresh-run reference factor (serial).
+	ref := newConfig(t, nt, ranks, gpr, 1e-8, "", "")
+	refRes, err := cholesky.Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := factorBits(ref.Matrix, ref.Desc)
+
+	// Serial compile → parallel replay.
+	scfg := newConfig(t, nt, ranks, gpr, 1e-8, "", "")
+	sp, err := cholesky.Compile(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := newConfig(t, nt, ranks, gpr, 1e-8, "", "")
+	pcfg.EngineWorkers = 4
+	res, err := cholesky.Replay(pcfg, sp)
+	if err != nil {
+		t.Fatalf("parallel config, serial plan: %v", err)
+	}
+	if res.Digest() != refRes.Digest() {
+		t.Errorf("serial plan under parallel config: digest %#x, want %#x", res.Digest(), refRes.Digest())
+	}
+	sameBits(t, want, factorBits(pcfg.Matrix, pcfg.Desc), "serial plan, parallel config")
+
+	// Parallel compile → serial replay, and signature equality across modes.
+	ccfg := newConfig(t, nt, ranks, gpr, 1e-8, "", "")
+	ccfg.EngineWorkers = 4
+	pp, err := cholesky.Compile(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Sig != sp.Sig {
+		t.Errorf("EngineWorkers leaked into the plan shape signature: %#x vs %#x", pp.Sig, sp.Sig)
+	}
+	if pp.Stats.ScheduleDigest != sp.Stats.ScheduleDigest {
+		t.Errorf("parallel compile digest %#x, serial compile %#x", pp.Stats.ScheduleDigest, sp.Stats.ScheduleDigest)
+	}
+	rcfg := newConfig(t, nt, ranks, gpr, 1e-8, "", "")
+	res, err = cholesky.Replay(rcfg, pp)
+	if err != nil {
+		t.Fatalf("serial config, parallel plan: %v", err)
+	}
+	sameBits(t, want, factorBits(rcfg.Matrix, rcfg.Desc), "parallel plan, serial config")
+
+	// Cache crossing: a serial RunCached warms the cache, a parallel config
+	// must hit it (same shape signature), and the replayed factor must match.
+	cache := plan.NewCache(nil)
+	warm := newConfig(t, nt, ranks, gpr, 1e-8, "", "")
+	if _, err := cholesky.RunCached(warm, cache); err != nil {
+		t.Fatal(err)
+	}
+	hot := newConfig(t, nt, ranks, gpr, 1e-8, "", "")
+	hot.EngineWorkers = 4
+	hotRes, err := cholesky.RunCached(hot, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cache.Stats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("cache hits=%d misses=%d, want 1 and 1 (parallel config must hit the serial plan)", cs.Hits, cs.Misses)
+	}
+	if hotRes.Digest() != refRes.Digest() {
+		t.Errorf("cached parallel run digest %#x, want %#x", hotRes.Digest(), refRes.Digest())
+	}
+	sameBits(t, want, factorBits(hot.Matrix, hot.Desc), "cache hit across engine modes")
+}

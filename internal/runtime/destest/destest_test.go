@@ -1,0 +1,243 @@
+package destest
+
+import (
+	"math"
+	"reflect"
+	gort "runtime"
+	"strings"
+	"testing"
+
+	"geompc/internal/cholesky"
+	"geompc/internal/comm"
+	"geompc/internal/geo"
+	"geompc/internal/hw"
+	"geompc/internal/obs"
+	"geompc/internal/prec"
+	"geompc/internal/precmap"
+	"geompc/internal/runtime"
+	"geompc/internal/sched"
+	"geompc/internal/stats"
+	"geompc/internal/tile"
+)
+
+// workerCounts returns the worker axis of the grid for a platform with the
+// given rank count: 1 (degenerate pool), 2, the host's core count, and a
+// value above the rank count (clamped internally — must still be exact).
+func workerCounts(ranks int) []int {
+	return []int{1, 2, gort.NumCPU(), ranks + 5}
+}
+
+// policies and topologies are the PR 4 golden grid axes; nil entries are the
+// engine defaults (FIFO, binomial).
+var policies = []struct {
+	name string
+	pol  sched.Policy
+}{
+	{"fifo", nil},
+	{"locality", sched.Locality{}},
+	{"cp", sched.CriticalPath{}},
+}
+
+var topologies = []struct {
+	name string
+	topo comm.Topology
+}{
+	{"binomial", nil},
+	{"flat", comm.Flat{}},
+	{"chain", comm.Chain{}},
+}
+
+// phantomConfig builds a multi-rank phantom (cost-only) scenario matching
+// the golden-digest suite's shapes: SummitNode, uniform FP16x32 off-diagonal
+// precision, Auto conversion.
+func phantomConfig(t *testing.T, n, ranks, gpr int) cholesky.Config {
+	t.Helper()
+	d, err := tile.NewDesc(n, 2048, 1, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := runtime.NewPlatform(hw.SummitNode, ranks, gpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := precmap.New(precmap.Uniform(d.NT, prec.FP16x32), 1e-4)
+	return cholesky.Config{Desc: d, Maps: maps, Platform: plat, Strategy: cholesky.Auto}
+}
+
+// numericConfig builds one multi-rank numeric factorization: a geospatial
+// SqExp covariance matrix tiled at ts=16 with precisions picked per tile by
+// precmap.FromMatrix, mirroring the chaos suite's builder. Each call returns
+// an independent matrix so runs never share tile storage.
+func numericConfig(t *testing.T, nt, ranks, gpr int) cholesky.Config {
+	t.Helper()
+	ts := 16
+	n := nt * ts
+	rng := stats.NewRNG(21, 0)
+	locs := geo.GenerateLocations(n, 2, rng)
+	kfn := geo.SqExp{Dimension: 2}
+	theta := []float64{1, 0.05}
+	pg, qg := tile.SquarestGrid(ranks)
+	d, err := tile.NewDesc(n, ts, pg, qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := tile.NewMatrix(d, false)
+	mat.Fill(func(tl *tile.Tile, r0, c0 int) {
+		geo.CovTile(locs, r0, c0, tl.M, tl.N, kfn, theta, 1e-8, tl.Data, tl.N)
+	})
+	maps := precmap.New(precmap.FromMatrix(mat, 1e-6, prec.CholeskySet), 1e-6)
+	mat.SetStorage(func(i, j int) prec.Precision { return maps.Storage[i][j] })
+	plat, err := runtime.NewPlatform(hw.SummitNode, ranks, gpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cholesky.Config{Desc: d, Maps: maps, Platform: plat, Matrix: mat, Strategy: cholesky.Auto}
+}
+
+// desGauge reports whether a metric is one of the parallel engine's own
+// diagnostics — the only names documented as outside the digest contract.
+func desGauge(name string) bool {
+	return strings.HasPrefix(name, "engine/des/") ||
+		(strings.HasPrefix(name, "engine/rank") && strings.Contains(name, "/des_"))
+}
+
+// filteredMetrics snapshots a registry with the DES diagnostics removed.
+func filteredMetrics(r *obs.Registry) []obs.Metric {
+	out := []obs.Metric{}
+	for _, m := range r.Snapshot() {
+		if !desGauge(m.Name) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// assertEqualRuns fails the test unless the parallel result matches the
+// serial reference in every observable the digest contract covers.
+func assertEqualRuns(t *testing.T, serial, par *cholesky.Result, workers int) {
+	t.Helper()
+	if par.Digest() != serial.Digest() {
+		t.Errorf("workers=%d: digest %#016x, serial %#016x", workers, par.Digest(), serial.Digest())
+	}
+	if !reflect.DeepEqual(serial.Stats, par.Stats) {
+		t.Errorf("workers=%d: stats diverged\nserial: %+v\npar:    %+v", workers, serial.Stats, par.Stats)
+	}
+	sm, pm := filteredMetrics(serial.Metrics()), filteredMetrics(par.Metrics())
+	if !reflect.DeepEqual(sm, pm) {
+		t.Errorf("workers=%d: metric registries diverged (after des-gauge filter)\nserial: %+v\npar:    %+v", workers, sm, pm)
+	}
+}
+
+func factorBits(m *tile.Matrix) []uint64 {
+	dense := m.ToDense()
+	bits := make([]uint64, len(dense))
+	for i, v := range dense {
+		bits[i] = math.Float64bits(v)
+	}
+	return bits
+}
+
+// TestGridPhantom sweeps the full policy × topology × front-end grid on
+// multi-rank phantom scenarios: every parallel worker count must reproduce
+// the serial run's digest, stats and metrics exactly.
+func TestGridPhantom(t *testing.T) {
+	fronts := []struct {
+		name  string
+		run   func(cholesky.Config) (*cholesky.Result, error)
+		build func(t *testing.T) cholesky.Config
+	}{
+		{"ptg", cholesky.Run, func(t *testing.T) cholesky.Config { return phantomConfig(t, 16384, 4, 1) }},
+		{"dtd", cholesky.RunDTD, func(t *testing.T) cholesky.Config { return phantomConfig(t, 12288, 4, 1) }},
+	}
+	for _, fr := range fronts {
+		for _, p := range policies {
+			for _, tp := range topologies {
+				fr, p, tp := fr, p, tp
+				t.Run(fr.name+"/"+p.name+"/"+tp.name, func(t *testing.T) {
+					cfg := fr.build(t)
+					cfg.Sched = p.pol
+					cfg.Bcast = tp.topo
+					serial, err := fr.run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, w := range workerCounts(cfg.Platform.Ranks) {
+						cfg.EngineWorkers = w
+						par, err := fr.run(cfg)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", w, err)
+						}
+						assertEqualRuns(t, serial, par, w)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGridFaults drives the fault axis of the grid on multi-rank numeric
+// runs: a mid-run device kill and a transient+slowdown plan, each audited,
+// must leave the parallel engine bit-identical to serial — digest, stats,
+// metrics and the recovered factor itself.
+func TestGridFaults(t *testing.T) {
+	const nt, ranks, gpr = 7, 2, 2
+	fronts := []struct {
+		name string
+		run  func(cholesky.Config) (*cholesky.Result, error)
+	}{
+		{"ptg", cholesky.Run},
+		{"dtd", cholesky.RunDTD},
+	}
+	for _, fr := range fronts {
+		fr := fr
+		// Fault times are anchored to the front-end's fault-free makespan.
+		probe := numericConfig(t, nt, ranks, gpr)
+		ref, err := fr.run(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Err != nil {
+			t.Fatal(ref.Err)
+		}
+		mk := ref.Stats.Makespan
+		specs := []struct {
+			name string
+			plan runtime.FaultPlan
+		}{
+			{"none", nil},
+			{"kill", runtime.FaultPlan{{Kind: runtime.FaultKill, Device: 1, At: mk * 0.4}}},
+			{"flaky-slow", runtime.FaultPlan{
+				{Kind: runtime.FaultTransient, Device: 0, At: mk * 0.3, Backoff: mk * 0.01},
+				{Kind: runtime.FaultSlow, Device: 2, From: 0, To: mk, Factor: 4},
+			}},
+		}
+		for _, spec := range specs {
+			spec := spec
+			t.Run(fr.name+"/"+spec.name, func(t *testing.T) {
+				run := func(workers int) (*cholesky.Result, []uint64) {
+					t.Helper()
+					cfg := numericConfig(t, nt, ranks, gpr)
+					cfg.Faults = spec.plan
+					cfg.Audit = true
+					cfg.EngineWorkers = workers
+					res, err := fr.run(cfg)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					if res.Err != nil {
+						t.Fatalf("workers=%d: numeric failure: %v", workers, res.Err)
+					}
+					return res, factorBits(cfg.Matrix)
+				}
+				serial, wantBits := run(0)
+				for _, w := range workerCounts(ranks) {
+					par, gotBits := run(w)
+					assertEqualRuns(t, serial, par, w)
+					if !reflect.DeepEqual(wantBits, gotBits) {
+						t.Errorf("workers=%d: factor bits diverged from serial", w)
+					}
+				}
+			})
+		}
+	}
+}

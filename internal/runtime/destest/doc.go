@@ -1,0 +1,11 @@
+// Package destest is the differential oracle for the conservative parallel
+// DES engine (runtime.Engine.EngineWorkers): it replays the golden-digest
+// grid — scheduling policies × broadcast topologies × PTG/DTD front-ends ×
+// fault plans — once on the serial event loop and once per parallel worker
+// count, and asserts that schedule digests, full Stats structures, metric
+// registries (minus the engine/des/ and engine/rank*/des_ gauges, which are
+// documented as outside the digest contract) and numeric factor bits are
+// identical. The package lives outside internal/runtime proper so the grid
+// can drive the real cholesky front-ends without an import cycle; its only
+// contents are tests, run by the des-matrix CI job under -race.
+package destest

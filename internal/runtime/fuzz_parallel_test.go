@@ -1,0 +1,158 @@
+package runtime
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+)
+
+// FuzzLookahead is the property test of the conservative parallel engine's
+// lookahead bound: arbitrary rank partitions (task→device assignments drawn
+// from the fuzz bytes) and arbitrary communication latencies (scaled NIC and
+// host-link specs) must never let a shard execute an event ahead of its
+// cross-rank dependency horizon. The property is asserted observationally —
+// the parallel run must reproduce the serial digest, Stats and traced
+// schedule exactly, at several worker counts — and internally: the spine
+// carries divergence checks that turn any horizon violation into a run
+// error ("parallel engine diverged") instead of silent reordering. Trace
+// equality is also the merge-order witness: the spine's re-sequenced stream
+// must be the stable (at, seq)-sort the serial heap produces.
+func FuzzLookahead(f *testing.F) {
+	f.Add(uint8(2), uint8(1), uint8(0), []byte{0x00, 0x81, 0x3c})
+	f.Add(uint8(3), uint8(2), uint8(7), []byte{0x12, 0x34, 0x56, 0x78, 0x9a})
+	f.Add(uint8(4), uint8(1), uint8(15), []byte("cross-rank-chains"))
+	f.Add(uint8(4), uint8(2), uint8(3), []byte{0xff, 0x00, 0xff, 0x00, 0x7e, 0x81, 0x42})
+
+	f.Fuzz(func(t *testing.T, ranksB, gprB, latB uint8, data []byte) {
+		ranks := 2 + int(ranksB%3) // 2..4: parallel path needs multiple ranks
+		gpr := 1 + int(gprB%2)
+		ndev := ranks * gpr
+
+		// Scale the communication latencies and bandwidths: the lookahead
+		// bound must be safe for fast and slow interconnects alike.
+		node := *hw.SummitNode
+		gpu := *node.GPU
+		gpu.LinkLatency *= float64(1 + latB%16)
+		node.GPU = &gpu
+		node.NetLat *= float64(1 + latB%16)
+		node.NetBw /= float64(1 + latB/16)
+
+		n := len(data)
+		if n > 48 {
+			n = 48
+		}
+		if n == 0 {
+			return
+		}
+
+		// Each byte decodes one task: low three bits pick the tile read, the
+		// next three the tile written (read-after-write and write-after-read
+		// chains cross ranks whenever the partition says so), and the whole
+		// byte picks the device — the fuzzed rank partition. A first pass
+		// legalizes the partition (a read with no prior writer must run on
+		// the datum's home rank) and derives each producer's remote consumer
+		// set, which becomes its broadcast Publish — the engine refuses
+		// cross-rank reads the producer never published.
+		const pool = 8
+		type fuzzOp struct {
+			dev         int
+			read, write DataID
+			kind        hw.KernelKind
+			prec        prec.Precision
+			flops       float64
+		}
+		ops := make([]fuzzOp, n)
+		for i := 0; i < n; i++ {
+			b := data[i]
+			ops[i] = fuzzOp{
+				dev: int(b) % ndev, read: DataID(b & 7), write: DataID((b >> 3) & 7),
+				kind: hw.KindGemm, prec: prec.FP64, flops: 1e6 * float64(1+b%5),
+			}
+			if b&0x20 != 0 {
+				ops[i].kind, ops[i].prec = hw.KindSyrk, prec.FP32
+			}
+		}
+		lastWriter := map[DataID]int{}
+		remote := make([]map[int]bool, n)
+		needPub := make([]bool, n)
+		rankOf := func(i int) int { return ops[i].dev / gpr }
+		for i := range ops {
+			if w, ok := lastWriter[ops[i].read]; ok {
+				if ops[i].dev != ops[w].dev {
+					// A consumer on any other device reads the output from
+					// host memory, which only a publish (D2H) provides.
+					needPub[w] = true
+				}
+				if r := rankOf(i); r != rankOf(w) {
+					if remote[w] == nil {
+						remote[w] = map[int]bool{}
+					}
+					remote[w][r] = true
+				}
+			} else {
+				// Unwritten datum: pin the reader to the datum's home rank.
+				ops[i].dev = int(ops[i].read)%ranks*gpr + ops[i].dev%gpr
+			}
+			lastWriter[ops[i].write] = i
+		}
+
+		build := func() *DTDGraph {
+			g := NewDTDGraph()
+			for d := 0; d < pool; d++ {
+				g.Data(DataID(d), d%ranks)
+			}
+			for i, o := range ops {
+				spec := TaskSpec{Kind: o.kind, Device: o.dev, Prec: o.prec, Flops: o.flops}
+				if needPub[i] || len(remote[i]) > 0 {
+					var rr []int
+					for r := range remote[i] {
+						rr = append(rr, r)
+					}
+					sort.Ints(rr)
+					spec.Publish = &PublishSpec{WireBytes: 8192, WirePrec: prec.FP64, RemoteRanks: rr}
+				}
+				if _, err := g.Insert(spec,
+					Access{Data: o.read, Mode: Read, WireBytes: 4096, Prec: prec.FP32},
+					Access{Data: o.write, Mode: Write, WireBytes: 8192, Prec: prec.FP64},
+				); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			return g
+		}
+
+		plat, err := NewPlatform(&node, ranks, gpr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(workers int) (Stats, []ScheduledTask, *Engine) {
+			eng := New(plat, build())
+			eng.Trace = true
+			eng.Audit = true
+			eng.EngineWorkers = workers
+			st, err := eng.Run()
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			return st, eng.ScheduleTrace(), eng
+		}
+
+		refStats, refTrace, _ := run(0)
+		for _, w := range []int{1, 2, ranks + 1} {
+			st, trace, _ := run(w)
+			if st.ScheduleDigest != refStats.ScheduleDigest {
+				t.Errorf("workers=%d: digest %#016x, serial %#016x", w, st.ScheduleDigest, refStats.ScheduleDigest)
+			}
+			if !reflect.DeepEqual(st, refStats) {
+				t.Errorf("workers=%d: stats diverged\nserial: %+v\npar:    %+v", w, refStats, st)
+			}
+			if !reflect.DeepEqual(trace, refTrace) {
+				t.Errorf("workers=%d: merged schedule is not the serial stream (%d vs %d entries)",
+					w, len(trace), len(refTrace))
+			}
+		}
+	})
+}

@@ -1,0 +1,993 @@
+package runtime
+
+// Conservative rank-parallel discrete-event mode.
+//
+// The event space is partitioned by rank: each rank becomes a *shard* — a
+// full Engine instance that owns only its rank's devices, NIC, host index
+// and ready tasks — and shards advance their local virtual clocks
+// concurrently in *burst rounds*, each bounded by a lookahead horizon
+// derived from cross-rank communication (the null-message bound of
+// conservative PDES, here computed from the receiver-side conversion +
+// kernel time of the cheapest cross-rank task, since every cross-rank
+// effect is applied at its sender completion's processing instant).
+//
+// Cross-rank effects travel as messages: a publish's remote host
+// availability write (msgAvail) and a remote successor release (msgDec),
+// both timestamped with the sender completion's virtual time. Messages are
+// routed through the coordinator's *spine* — an incremental re-sequencer
+// that replays every shard's commit/completion records in exact serial
+// (time, sequence) order — and a message is only delivered to its receiver
+// after the spine has replayed the sending completion. That gating makes
+// each shard's inbox a prefix of the messages the serial engine would have
+// sent, in serial order, which is what collapses all same-instant
+// ambiguity: queued messages always apply before local events at an equal
+// timestamp, because their senders provably precede the receiver's event in
+// the serial sequence.
+//
+// The spine also re-emits the run's entire observable stream — schedule
+// digest, schedule trace, task/H2D histograms, plan-recorder callbacks,
+// fault log and task totals — in exact serial order, so digests, stats,
+// audit invariants and factor bits are unchanged versus the serial engine
+// at every worker count. Worker count only bounds how many shard bursts
+// execute concurrently; it never changes round composition, so the result
+// is bit-identical at 1, 2, N or more workers.
+
+import (
+	"fmt"
+	"math"
+	gort "runtime"
+	"sort"
+
+	"geompc/internal/comm"
+	"geompc/internal/hw"
+	"geompc/internal/obs"
+	"geompc/internal/prec"
+	"geompc/internal/sched"
+)
+
+// ShardableGraph is the optional Graph capability parallel mode requires:
+// a view of the graph that is safe for concurrent read-only use by all rank
+// shards. Graphs whose accessors are pure reads return the receiver.
+type ShardableGraph interface {
+	Graph
+	ShardView() Graph
+}
+
+const (
+	msgAvail = iota
+	msgDec
+)
+
+// desMsg is one cross-rank effect, applied at the sender completion's
+// processing instant `at`.
+type desMsg struct {
+	at   float64
+	task int32 // sending task (frame identity for spine-gated routing)
+	to   int16 // destination rank
+	kind uint8
+	data DataID  // msgAvail: datum whose host copy becomes available
+	val  float64 // msgAvail: availability time
+	succ int32   // msgDec: released task
+}
+
+// desShard is one rank's event loop: a full Engine whose device/NIC/host
+// state covers only its own rank, plus the message and record plumbing the
+// coordinator uses to re-sequence the global run.
+type desShard struct {
+	e      *Engine
+	rank   int
+	rank16 int16
+
+	// Shared read-only tables built by the coordinator's setup sweep.
+	owner    []int16 // task id -> owning rank
+	minCross float64 // min (convDur+kernelDur) over this rank's cross tasks
+
+	// crossLeft counts this shard's cross completions not yet processed;
+	// while positive, the frontier is bounded by clock+minCross (or the
+	// earliest committed cross completion already in the heap).
+	crossLeft int
+
+	// Inbox: messages delivered by the coordinator in spine order
+	// (nondecreasing at; within an instant, serial frame order).
+	inMsgs []desMsg
+	inHead int
+
+	// Outbox and record log, drained by the coordinator at each barrier.
+	outMsgs []desMsg
+	recs    []desRec
+
+	// Per-commit H2D record count, per-fault bookkeeping, and the id of
+	// the completion currently being processed (stamps outgoing messages).
+	h2dN        int32
+	replayCount int32
+	retryAt     float64
+	curTask     int32
+
+	succScratch []int
+
+	// Goroutine plumbing: cmd/rep form the happens-before edges between
+	// the coordinator and the shard's burst execution.
+	cmd chan desCmd
+	rep chan struct{}
+
+	// Reply snapshot (written by the shard before rep, read after).
+	rClock    float64
+	rNext     float64 // earliest pending local item (event or queued msg)
+	rFrontier float64 // earliest possible future cross-rank send
+	rItems    int     // items processed by the last command
+
+	// Deterministic per-rank gauges (excluded from the digest contract).
+	nBurst, nLockstep, nApply, nFrontier, nStalls int64
+	nMsgsIn, nMsgsOut                             int64
+}
+
+const (
+	cmdSetup = iota
+	cmdBurst
+)
+
+type desCmd struct {
+	kind    uint8
+	horizon float64
+	max     int
+}
+
+// Record kinds a shard emits for the spine (see spine.go for consumption).
+const (
+	recKCommit = iota
+	recKH2D
+	recKEnqueue
+	recKComplete
+	recKDecDone
+	recKFaultDone
+)
+
+// desRec is one shard-side record. One struct covers all kinds; the spine
+// demultiplexes on kind.
+type desRec struct {
+	kind    uint8
+	recov   bool // recKCommit: recovery replay; recKComplete: replay flag
+	fkind   FaultKind
+	dev     int32
+	task    int32
+	h2dN    int32
+	replays int32
+	tkind   hw.KernelKind
+	prec    prec.Precision
+	start   float64
+	end     float64
+	at      float64
+	val     float64 // recKH2D: bytes
+	bytes   int64
+	flops   float64
+	retryAt float64
+}
+
+// isCross reports whether spec's completion will send cross-rank messages:
+// a publish naming a remote rank, or a successor owned by another rank.
+//
+//geompc:hot
+func (sh *desShard) isCross(spec *TaskSpec) bool {
+	if p := spec.Publish; p != nil {
+		for _, rr := range p.RemoteRanks {
+			if rr != sh.rank {
+				return true
+			}
+		}
+	}
+	sh.succScratch = sh.e.g.Successors(spec.ID, sh.succScratch[:0])
+	for _, s := range sh.succScratch {
+		if sh.owner[s] != sh.rank16 {
+			return true
+		}
+	}
+	return false
+}
+
+//geompc:hot
+func (sh *desShard) sendAvail(to int, data DataID, val float64) {
+	sh.outMsgs = append(sh.outMsgs, desMsg{
+		at: sh.e.now, task: sh.curTask, to: int16(to), kind: msgAvail, data: data, val: val,
+	})
+	sh.nMsgsOut++
+}
+
+//geompc:hot
+func (sh *desShard) sendDec(succ int) {
+	sh.outMsgs = append(sh.outMsgs, desMsg{
+		at: sh.e.now, task: sh.curTask, to: int16(sh.owner[succ]), kind: msgDec, succ: int32(succ),
+	})
+	sh.nMsgsOut++
+}
+
+//geompc:hot
+func (sh *desShard) recH2D(dev int, bytes float64) {
+	sh.h2dN++
+	sh.recs = append(sh.recs, desRec{kind: recKH2D, dev: int32(dev), val: bytes})
+}
+
+//geompc:hot
+func (sh *desShard) recCommit(spec *TaskSpec, start, end float64, stagedBytes int64, recovery bool) {
+	if recovery {
+		sh.replayCount++
+	}
+	sh.recs = append(sh.recs, desRec{
+		kind: recKCommit, recov: recovery, dev: int32(spec.Device), task: int32(spec.ID),
+		h2dN: sh.h2dN, tkind: spec.Kind, prec: spec.Prec,
+		start: start, end: end, bytes: stagedBytes, flops: spec.Flops,
+	})
+	sh.h2dN = 0
+}
+
+//geompc:hot
+func (sh *desShard) recEnqueue(id, dev int) {
+	sh.recs = append(sh.recs, desRec{kind: recKEnqueue, task: int32(id), dev: int32(dev)})
+}
+
+//geompc:hot
+func (sh *desShard) recComplete(id int, replay bool) {
+	sh.recs = append(sh.recs, desRec{kind: recKComplete, task: int32(id), recov: replay})
+}
+
+// loop is the shard goroutine: it executes coordinator commands, gated by
+// the shared worker semaphore, and replies through rep. All shard state is
+// owned by whichever side last synchronized through cmd/rep.
+func (sh *desShard) loop(sem chan struct{}) {
+	for c := range sh.cmd {
+		sem <- struct{}{}
+		switch c.kind {
+		case cmdSetup:
+			sh.setup()
+		case cmdBurst:
+			sh.burst(c.horizon, c.max)
+		}
+		<-sem
+		sh.rep <- struct{}{}
+	}
+}
+
+// setup mirrors the serial Run prologue for this rank only: scheduling
+// resolution, host index (own-rank segment, stride 0), own devices and NIC,
+// fault arming from the coordinator's pre-filtered plan, initial data and
+// in-degrees for owned tasks, and the initial pipeline fill.
+func (sh *desShard) setup() {
+	e := sh.e
+	n := e.g.NumTasks()
+	e.resolveSched()
+	e.hostAvail, e.hostDense, e.hostBound, e.hostStride = nil, nil, 0, 0
+	if b, ok := e.g.(DataBounder); ok {
+		if bound := b.DataIDBound(); bound >= 0 &&
+			bound*int64(e.plat.Ranks) <= 1<<28 && bound*int64(e.plat.NumDevices()) <= 1<<28 {
+			e.hostBound = int(bound)
+			e.hostDense = make([]float64, e.hostBound)
+			for i := range e.hostDense {
+				e.hostDense[i] = hostAbsent
+			}
+		}
+	}
+	if e.hostDense == nil {
+		e.hostAvail = make(map[hostKey]float64)
+	}
+	e.devices = make([]*device, e.plat.NumDevices())
+	base := sh.rank * e.plat.DevPerRank
+	for i := base; i < base+e.plat.DevPerRank; i++ {
+		e.devices[i] = newDevice(i, sh.rank, e.plat.Node.GPU, e.Trace, e.hostBound, &e.ord)
+	}
+	e.nics = make([]*comm.Link, e.plat.Ranks)
+	e.nics[sh.rank] = comm.NewLink(fmt.Sprintf("rank%d/nic", sh.rank), e.plat.Node.NICLink(), e.Trace)
+	e.pending = make([]int32, n)
+	e.events = e.events[:0]
+	e.now, e.seq, e.inflight, e.done = 0, 0, 0, 0
+	e.stats = Stats{}
+	e.armed, e.fatalErr, e.inRecovery = false, nil, false
+	if err := e.armFaults(); err != nil {
+		e.fatalErr = err
+		return
+	}
+	e.g.InitialData(func(d DataID, rank int) {
+		if rank == sh.rank {
+			e.setHostAvail(rank, d, 0)
+		}
+	})
+	for id := 0; id < n; id++ {
+		if sh.owner[id] != sh.rank16 {
+			continue
+		}
+		e.pending[id] = int32(e.g.NumPredecessors(id))
+		if e.pending[id] == 0 {
+			e.enqueueReady(id)
+		}
+	}
+	for i := base; i < base+e.plat.DevPerRank && e.fatalErr == nil; i++ {
+		e.tryCommit(e.devices[i])
+	}
+	sh.computeReply()
+}
+
+// burst processes local timeline items — queued message frames merged with
+// heap events by timestamp, messages first at an equal instant — strictly
+// below the horizon, up to max items. Safe to run concurrently with other
+// shards' bursts: every touched structure is shard-owned or read-only.
+//
+//geompc:hot
+func (sh *desShard) burst(horizon float64, max int) {
+	e := sh.e
+	items := 0
+	for items < max && e.fatalErr == nil {
+		mAt := math.Inf(1)
+		if sh.inHead < len(sh.inMsgs) {
+			mAt = sh.inMsgs[sh.inHead].at
+		}
+		eAt := math.Inf(1)
+		if len(e.events) > 0 {
+			eAt = e.events[0].at
+		}
+		t := math.Min(mAt, eAt)
+		if !(t < horizon) {
+			break
+		}
+		if mAt <= eAt {
+			sh.applyFrame()
+		} else {
+			sh.stepEvent()
+		}
+		items++
+	}
+	sh.nBurst += int64(items)
+	sh.rItems = items
+	sh.computeReply()
+}
+
+// stepEvent pops and processes exactly one heap event (completion or
+// fault), emitting the records the spine needs to replay it.
+//
+//geompc:hot
+func (sh *desShard) stepEvent() {
+	e := sh.e
+	ev := e.popEvent()
+	e.now = ev.at
+	if ev.fault != nil {
+		sh.retryAt = math.Inf(-1)
+		sh.replayCount = 0
+		e.applyFault(ev.fault)
+		sh.recs = append(sh.recs, desRec{
+			kind: recKFaultDone, fkind: ev.fault.Kind, dev: int32(ev.fault.Device),
+			at: ev.at, replays: sh.replayCount, retryAt: sh.retryAt,
+		})
+		return
+	}
+	sh.curTask = int32(ev.spec.ID)
+	e.complete(&ev)
+}
+
+// applyFrame applies one message frame — all queued messages sharing the
+// head's (at, task), i.e. the effects of one remote completion — and then
+// feeds the pipelines of every device that gained ready work, mirroring the
+// serial complete()'s dirty-device ordering restricted to this rank.
+//
+//geompc:hot
+func (sh *desShard) applyFrame() {
+	e := sh.e
+	m0 := sh.inMsgs[sh.inHead]
+	if m0.at < e.now {
+		e.fatalErr = fmt.Errorf("runtime: parallel engine diverged: rank %d received message at t=%g behind local clock t=%g", sh.rank, m0.at, e.now)
+		return
+	}
+	e.now = m0.at
+	e.dirtyDevs = e.dirtyDevs[:0]
+	for sh.inHead < len(sh.inMsgs) && e.fatalErr == nil {
+		m := &sh.inMsgs[sh.inHead]
+		if m.at != m0.at || m.task != m0.task {
+			break
+		}
+		sh.inHead++
+		sh.nMsgsIn++
+		switch m.kind {
+		case msgAvail:
+			e.setHostAvail(sh.rank, m.data, m.val)
+		case msgDec:
+			s := int(m.succ)
+			e.pending[s]--
+			switch {
+			case e.pending[s] == 0:
+				dev := e.enqueueReady(s)
+				if dd := e.devices[dev]; dd != nil && !dd.dirty {
+					dd.dirty = true
+					e.dirtyDevs = append(e.dirtyDevs, dev)
+				}
+			case e.pending[s] < 0:
+				e.fail(&GraphError{Task: s, Msg: "released more than its in-degree"}) //geompc:nolint hotalloc cold malformed-graph path, run ends here
+			}
+			sh.recs = append(sh.recs, desRec{kind: recKDecDone, task: m.succ})
+		}
+	}
+	for _, di := range e.dirtyDevs {
+		dd := e.devices[di]
+		dd.dirty = false
+		e.tryCommit(dd)
+	}
+	// Compact the consumed prefix once it dominates the inbox (in place:
+	// the backing array is reused, no allocation).
+	if sh.inHead > 1024 && sh.inHead*2 > len(sh.inMsgs) {
+		n := copy(sh.inMsgs, sh.inMsgs[sh.inHead:])
+		sh.inMsgs = sh.inMsgs[:n]
+		sh.inHead = 0
+	}
+}
+
+// runStep is a lockstep command (coordinator goroutine, fully barriered):
+// apply every queued message frame — all provably precede the target event
+// in serial order — then pop and process exactly the event the spine
+// identified. A mismatch means the parallel execution diverged.
+func (sh *desShard) runStep(at float64, isFault bool, dev int32, task int32, replay bool) {
+	e := sh.e
+	for sh.inHead < len(sh.inMsgs) && e.fatalErr == nil {
+		if sh.inMsgs[sh.inHead].at > at {
+			e.fatalErr = fmt.Errorf("runtime: parallel engine diverged: rank %d queued message at t=%g past lockstep target t=%g", sh.rank, sh.inMsgs[sh.inHead].at, at)
+			return
+		}
+		sh.applyFrame()
+	}
+	if e.fatalErr != nil {
+		return
+	}
+	if len(e.events) == 0 {
+		e.fatalErr = fmt.Errorf("runtime: parallel engine diverged: rank %d has no event at lockstep target t=%g", sh.rank, at)
+		return
+	}
+	top := &e.events[0]
+	ok := top.at == at
+	if ok {
+		if isFault {
+			ok = top.fault != nil && int32(top.fault.Device) == dev
+		} else {
+			ok = top.fault == nil && int32(top.spec.ID) == task && top.replay == replay
+		}
+	}
+	if !ok {
+		e.fatalErr = fmt.Errorf("runtime: parallel engine diverged: rank %d event heap head does not match lockstep target (task %d at t=%g)", sh.rank, task, at)
+		return
+	}
+	sh.stepEvent()
+	sh.nLockstep++
+	sh.computeReply()
+}
+
+// runApply is the other lockstep command: drain every queued message frame
+// without touching the event heap (the spine is mid-frame, waiting for this
+// rank to absorb a remote completion's releases).
+func (sh *desShard) runApply() {
+	e := sh.e
+	applied := 0
+	for sh.inHead < len(sh.inMsgs) && e.fatalErr == nil {
+		sh.applyFrame()
+		applied++
+	}
+	if applied == 0 && e.fatalErr == nil {
+		e.fatalErr = fmt.Errorf("runtime: parallel engine diverged: rank %d asked to apply messages but its inbox is empty", sh.rank)
+	}
+	sh.nApply += int64(applied)
+	sh.computeReply()
+}
+
+// computeReply snapshots the shard's timeline state for the coordinator:
+// local clock, earliest pending item, and the conservative frontier — a
+// lower bound on the time of any future cross-rank message this shard can
+// send. While cross completions remain, that is the earlier of the first
+// committed cross completion already in the heap and clock+minCross (any
+// not-yet-committed cross task starts at or after the clock and runs for at
+// least minCross).
+//
+//geompc:hot
+func (sh *desShard) computeReply() {
+	e := sh.e
+	sh.nFrontier++
+	next := math.Inf(1)
+	if sh.inHead < len(sh.inMsgs) {
+		next = sh.inMsgs[sh.inHead].at
+	}
+	if len(e.events) > 0 && e.events[0].at < next {
+		next = e.events[0].at
+	}
+	sh.rNext = next
+	fr := math.Inf(1)
+	if sh.crossLeft > 0 {
+		fr = e.now + sh.minCross
+		for i := range e.events {
+			if ev := &e.events[i]; ev.cross && ev.at < fr {
+				fr = ev.at
+			}
+		}
+	}
+	sh.rFrontier = fr
+	sh.rClock = e.now
+}
+
+// desCoord drives the shards and the spine from the caller's goroutine.
+type desCoord struct {
+	e      *Engine
+	shards []*desShard
+	spine  *desSpine
+	sem    chan struct{}
+
+	// pendRoute holds each shard's sent messages until the spine replays
+	// the sending completion (spine-gated routing). Emission order is
+	// serial frame order per rank, so each queue's timestamps are
+	// nondecreasing and its head bounds the rank's effective frontier.
+	pendRoute [][]desMsg
+	pendHead  []int
+}
+
+// Burst sizing: items per shard per round, and the per-rank cap on spine
+// records not yet consumed (a shard too far ahead of the spine pauses so
+// coordinator memory stays bounded).
+const (
+	desBurstMax   = 4096
+	desMaxBacklog = 1 << 14
+)
+
+// runParallel executes the run in conservative parallel DES mode. The third
+// result reports whether parallel mode applied at all: single-rank
+// platforms and graphs without a ShardView fall back to the serial loop.
+func (e *Engine) runParallel() (Stats, error, bool) {
+	sg, ok := e.g.(ShardableGraph)
+	if !ok || e.plat.Ranks < 2 {
+		return Stats{}, nil, false
+	}
+	if e.Audit {
+		e.Trace = true
+	}
+	e.sealGraph()
+	n := e.g.NumTasks()
+
+	// Resolve the global fault plan once; shards arm from per-rank filters.
+	var plan FaultPlan
+	if e.injector != nil {
+		plan = FaultPlan(e.injector.Plan(e.plat.NumDevices()))
+	}
+	if len(plan) > 0 {
+		if err := plan.Validate(e.plat.NumDevices()); err != nil {
+			return Stats{}, err, true
+		}
+	}
+
+	workers := e.EngineWorkers
+	if workers < 0 {
+		workers = gort.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > e.plat.Ranks {
+		workers = e.plat.Ranks
+	}
+
+	c := &desCoord{
+		e:         e,
+		sem:       make(chan struct{}, workers),
+		pendRoute: make([][]desMsg, e.plat.Ranks),
+		pendHead:  make([]int, e.plat.Ranks),
+	}
+	owner, minCross, crossCnt := c.sweep(n)
+
+	// Top-level observability: the spine writes into the caller-visible
+	// registry in exact serial order; shards observe nothing.
+	e.metrics.Reset()
+	e.hTaskSec = e.metrics.Histogram("engine/task_seconds", obs.ExpBuckets(1e-6, 4, 16))
+	e.hH2DBytes = e.metrics.Histogram("engine/h2d_bytes", obs.ExpBuckets(4096, 4, 16))
+	e.schedule = e.schedule[:0]
+	e.bytesH2D, e.bytesD2H, e.bytesNet = [prec.Count]int64{}, [prec.Count]int64{}, [prec.Count]int64{}
+	e.digest = obs.Digest{}
+	e.auditViol = e.auditViol[:0]
+	e.faultLog = e.faultLog[:0]
+	e.stats = Stats{}
+	e.armed, e.fatalErr, e.inRecovery = len(plan) > 0, nil, false
+	e.now, e.seq, e.inflight = 0, 0, 0
+
+	c.shards = make([]*desShard, e.plat.Ranks)
+	for r := 0; r < e.plat.Ranks; r++ {
+		se := New(e.plat, sg.ShardView())
+		se.Trace = e.Trace
+		se.Audit = e.Audit
+		se.Lookahead = e.Lookahead
+		se.Policy = e.Policy
+		se.Bcast = e.Bcast
+		var rplan FaultPlan
+		for _, f := range plan {
+			if e.plat.RankOfDevice(f.Device) == r {
+				rplan = append(rplan, f)
+			}
+		}
+		if len(rplan) > 0 {
+			se.Inject(rplan)
+		}
+		sh := &desShard{
+			e: se, rank: r, rank16: int16(r),
+			owner: owner, minCross: minCross[r],
+			cmd: make(chan desCmd), rep: make(chan struct{}),
+		}
+		se.shard = sh
+		c.shards[r] = sh
+		go sh.loop(c.sem)
+	}
+	defer func() {
+		for _, sh := range c.shards {
+			close(sh.cmd)
+			if sh.e.workers != nil {
+				sh.e.workers.close()
+				sh.e.workers = nil
+			}
+		}
+	}()
+
+	// crossLeft starts at the rank's static cross-task count; it decrements
+	// as cross completions are processed.
+	for r, sh := range c.shards {
+		sh.crossLeft = crossCnt[r]
+	}
+
+	// Concurrent per-rank setup (scheduling resolution, device creation,
+	// initial enqueues and pipeline fill), then the spine's initial replay.
+	for _, sh := range c.shards {
+		sh.cmd <- desCmd{kind: cmdSetup}
+	}
+	for _, sh := range c.shards {
+		<-sh.rep
+	}
+	if err := c.firstError(); err != nil {
+		return Stats{}, err, true
+	}
+	c.spine = newDesSpine(c, n, plan)
+	for _, sh := range c.shards {
+		c.collect(sh)
+	}
+	c.spine.initialReplay()
+	c.spine.catchUp()
+	if err := c.firstError(); err != nil {
+		return Stats{}, err, true
+	}
+
+	if err := c.mainLoop(n); err != nil {
+		return Stats{}, err, true
+	}
+	st, err := c.merge()
+	return st, err, true
+}
+
+// sweep precomputes the static shard tables in two O(n) passes: task
+// ownership (pass 1 — successors may have smaller ids, so ownership must be
+// complete before cross detection), then per-rank cross-task counts and the
+// lookahead bound minCross = min over the rank's cross tasks of their
+// receiver-side conversion + kernel time. Any cross task committed after a
+// shard's clock t completes no earlier than t+minCross, which is what makes
+// clock+minCross a safe frontier while cross completions remain.
+func (c *desCoord) sweep(n int) (owner []int16, minCross []float64, crossCnt []int) {
+	e := c.e
+	owner = make([]int16, n)
+	minCross = make([]float64, e.plat.Ranks)
+	crossCnt = make([]int, e.plat.Ranks)
+	for r := range minCross {
+		minCross[r] = math.Inf(1)
+	}
+	spec := new(TaskSpec)
+	for id := 0; id < n; id++ {
+		e.g.Spec(id, spec)
+		r := 0
+		if spec.Device >= 0 && spec.Device < e.plat.NumDevices() {
+			r = e.plat.RankOfDevice(spec.Device)
+		}
+		owner[id] = int16(r)
+	}
+	gpu := e.plat.Node.GPU
+	var succ []int
+	for id := 0; id < n; id++ {
+		e.g.Spec(id, spec)
+		r := owner[id]
+		cross := false
+		if p := spec.Publish; p != nil {
+			for _, rr := range p.RemoteRanks {
+				if rr != int(r) {
+					cross = true
+					break
+				}
+			}
+		}
+		if !cross {
+			succ = e.g.Successors(id, succ[:0])
+			for _, s := range succ {
+				if owner[s] != r {
+					cross = true
+					break
+				}
+			}
+		}
+		if !cross {
+			continue
+		}
+		crossCnt[r]++
+		dur := 0.0
+		for i := range spec.Inputs {
+			if in := &spec.Inputs[i]; in.ConvertElems > 0 {
+				dur += gpu.ConvertTime(in.ConvertElems, in.ConvFrom, in.ConvTo)
+			}
+		}
+		if spec.Flops > 0 {
+			dur += gpu.KernelTime(spec.Kind, spec.Prec, spec.Flops)
+		}
+		if dur < minCross[r] {
+			minCross[r] = dur
+		}
+	}
+	return owner, minCross, crossCnt
+}
+
+// firstError surfaces the lowest rank's fatal error — a deterministic pick
+// regardless of which shard hit it first in wall-clock time.
+func (c *desCoord) firstError() error {
+	for _, sh := range c.shards {
+		if sh.e.fatalErr != nil {
+			return sh.e.fatalErr
+		}
+	}
+	return nil
+}
+
+// collect drains a shard's outbox into the routing queue and its record log
+// into the spine.
+//
+//geompc:hot
+func (c *desCoord) collect(sh *desShard) {
+	if len(sh.outMsgs) > 0 {
+		c.pendRoute[sh.rank] = append(c.pendRoute[sh.rank], sh.outMsgs...)
+		sh.outMsgs = sh.outMsgs[:0]
+	}
+	if len(sh.recs) > 0 {
+		c.spine.demux(sh.rank, sh.recs)
+		sh.recs = sh.recs[:0]
+	}
+}
+
+// routeFrame delivers the messages a completion frame sent, called by the
+// spine exactly when it replays that frame. Frame messages sit contiguously
+// at the routing queue's head (emission order is frame order).
+//
+//geompc:hot
+func (c *desCoord) routeFrame(rank int, task int32) {
+	q := c.pendRoute[rank]
+	h := c.pendHead[rank]
+	for h < len(q) && q[h].task == task {
+		m := q[h]
+		h++
+		dst := c.shards[m.to]
+		dst.inMsgs = append(dst.inMsgs, m)
+	}
+	c.pendHead[rank] = h
+	if h > 1024 && h*2 > len(q) {
+		n := copy(q, q[h:])
+		c.pendRoute[rank] = q[:n]
+		c.pendHead[rank] = 0
+	}
+}
+
+// effFrontier is rank r's effective frontier: the earlier of its reported
+// frontier and its oldest unrouted message (sent, but not yet released by
+// the spine — it will reach its receiver with that timestamp).
+//
+//geompc:hot
+func (c *desCoord) effFrontier(r int) float64 {
+	f := c.shards[r].rFrontier
+	if h := c.pendHead[r]; h < len(c.pendRoute[r]) {
+		if at := c.pendRoute[r][h].at; at < f {
+			f = at
+		}
+	}
+	return f
+}
+
+// effNext is rank r's earliest pending item, including messages the
+// coordinator delivered after the shard's last reply.
+//
+//geompc:hot
+func (c *desCoord) effNext(sh *desShard) float64 {
+	next := sh.rNext
+	if sh.inHead < len(sh.inMsgs) {
+		if at := sh.inMsgs[sh.inHead].at; at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// mainLoop alternates burst rounds (all eligible shards advance
+// concurrently below their horizons) with lockstep steps (the spine
+// identifies the serially-next event and the coordinator executes exactly
+// that) until every task is done. Round composition depends only on
+// deterministic shard state, never on worker count or wall-clock timing.
+func (c *desCoord) mainLoop(n int) error {
+	eligible := make([]*desShard, 0, len(c.shards))
+	horizons := make([]float64, len(c.shards))
+	stagnant := 0
+	for c.spine.done < n {
+		if err := c.firstError(); err != nil {
+			return err
+		}
+		if err := c.spine.err; err != nil {
+			return err
+		}
+		eligible = eligible[:0]
+		for r, sh := range c.shards {
+			// Horizon: the min effective frontier over all *other* shards.
+			h := math.Inf(1)
+			for o := range c.shards {
+				if o == r {
+					continue
+				}
+				if f := c.effFrontier(o); f < h {
+					h = f
+				}
+			}
+			horizons[r] = h
+			if c.effNext(sh) < h && c.spine.backlog[r] < desMaxBacklog {
+				eligible = append(eligible, sh)
+			} else if !math.IsInf(c.effNext(sh), 1) {
+				sh.nStalls++
+			}
+		}
+		before := c.spine.consumed
+		if len(eligible) > 0 {
+			for _, sh := range eligible {
+				sh.cmd <- desCmd{kind: cmdBurst, horizon: horizons[sh.rank], max: desBurstMax}
+			}
+			progressed := false
+			for _, sh := range eligible {
+				<-sh.rep
+				if sh.rItems > 0 {
+					progressed = true
+				}
+			}
+			for _, sh := range c.shards {
+				c.collect(sh)
+			}
+			c.spine.catchUp()
+			if progressed || c.spine.consumed > before {
+				stagnant = 0
+				continue
+			}
+		} else {
+			if done, err := c.lockstep(n); done || err != nil {
+				return err
+			}
+			if c.spine.consumed > before || c.spine.err != nil || c.firstError() != nil {
+				stagnant = 0
+				continue
+			}
+		}
+		stagnant++
+		if stagnant > 2 {
+			return fmt.Errorf("runtime: parallel engine stalled with %d of %d tasks done", c.spine.done, n)
+		}
+	}
+	return nil
+}
+
+// lockstep executes exactly the spine's next serial step. It returns
+// done=true when the spine proves the remaining tasks can never run (the
+// serial engine's dependency-cycle condition).
+func (c *desCoord) lockstep(n int) (bool, error) {
+	s := c.spine
+	switch s.stallKind {
+	case stallApply:
+		sh := c.shards[s.stallRank]
+		sh.runApply()
+		c.collect(sh)
+		s.catchUp()
+		return false, nil
+	case stallShard:
+		sh := c.shards[s.stallRank]
+		sh.runStep(s.stallAt, s.stallFault, s.stallDev, s.stallTask, s.stallReplay)
+		if err := sh.e.fatalErr; err != nil {
+			return false, err
+		}
+		c.collect(sh)
+		s.catchUp()
+		return false, nil
+	default:
+		// No stall and no eligible shard: nothing is replayable. If tasks
+		// remain, the serial engine would have drained its heap and
+		// reported the cycle; mirror that exactly.
+		if s.done != n {
+			return true, fmt.Errorf("runtime: %d of %d tasks never became ready (dependency cycle or missing data)", n-s.done, n)
+		}
+		return true, nil
+	}
+}
+
+// merge assembles the run's results on the top engine: each shard's rank
+// slice of machine state (devices, NIC) slots into the full arrays, the
+// order-free aggregates sum across shards, and the serially-ordered totals
+// come from the spine. finalizeStats and the audit then run unchanged on
+// the merged state — the same closing code path as a serial run.
+func (c *desCoord) merge() (Stats, error) {
+	e := c.e
+	s := c.spine
+	e.devices = make([]*device, e.plat.NumDevices())
+	e.nics = make([]*comm.Link, e.plat.Ranks)
+	for r, sh := range c.shards {
+		base := r * e.plat.DevPerRank
+		for i := base; i < base+e.plat.DevPerRank; i++ {
+			e.devices[i] = sh.e.devices[i]
+		}
+		e.nics[r] = sh.e.nics[r]
+	}
+	e.done = s.done
+	e.stats.Tasks = s.tasks
+	e.stats.TotalFlops = s.totalFlops
+	for _, sh := range c.shards {
+		st := &sh.e.stats
+		e.stats.BytesNet += st.BytesNet
+		e.stats.SenderConversions += st.SenderConversions
+		e.stats.ReceiverConversions += st.ReceiverConversions
+		e.stats.DeviceFailures += st.DeviceFailures
+		e.stats.TransientFaults += st.TransientFaults
+		e.stats.RetriedTasks += st.RetriedTasks
+		e.stats.ReplayedTasks += st.ReplayedTasks
+		e.stats.RecoveryBytes += st.RecoveryBytes
+		for p := 0; p < prec.Count; p++ {
+			e.bytesH2D[p] += sh.e.bytesH2D[p]
+			e.bytesD2H[p] += sh.e.bytesD2H[p]
+			e.bytesNet[p] += sh.e.bytesNet[p]
+		}
+		if len(sh.e.orphan) > 0 {
+			if e.orphan == nil {
+				e.orphan = make(map[int]chan struct{})
+			}
+			ids := make([]int, 0, len(sh.e.orphan))
+			for id := range sh.e.orphan {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				e.orphan[id] = sh.e.orphan[id]
+			}
+		}
+		for _, v := range sh.e.auditViol {
+			if len(e.auditViol) < maxAuditViolations {
+				e.auditViol = append(e.auditViol, v)
+			}
+		}
+	}
+	// Resolve the run's policy/topology names for publishMetrics without a
+	// full resolveSched (no comparator or critical path is needed anymore).
+	e.policy = e.Policy
+	if e.policy == nil {
+		e.policy = sched.FIFO{}
+	}
+	e.topo = e.Bcast
+	if e.topo == nil {
+		e.topo = comm.Binomial{}
+	}
+	e.finalizeStats()
+	// Parallel-engine introspection gauges. These are deliberately outside
+	// the digest/stats contract (destest filters engine/des/* and
+	// engine/rank*/des_* when comparing registries): burst/lockstep mix and
+	// stall counts describe the execution strategy, not the simulated run.
+	for r, sh := range c.shards {
+		pfx := fmt.Sprintf("engine/rank%d/", r)
+		e.metrics.Gauge(pfx + "des_burst_events").Set(float64(sh.nBurst))
+		e.metrics.Gauge(pfx + "des_lockstep_events").Set(float64(sh.nLockstep))
+		e.metrics.Gauge(pfx + "des_apply_steps").Set(float64(sh.nApply))
+		e.metrics.Gauge(pfx + "des_frontier_evals").Set(float64(sh.nFrontier))
+		e.metrics.Gauge(pfx + "des_sync_stalls").Set(float64(sh.nStalls))
+		e.metrics.Gauge(pfx + "des_msgs_in").Set(float64(sh.nMsgsIn))
+		e.metrics.Gauge(pfx + "des_msgs_out").Set(float64(sh.nMsgsOut))
+	}
+	e.metrics.Gauge("engine/des/workers").Set(float64(cap(c.sem)))
+	e.metrics.Gauge("engine/des/ranks").Set(float64(len(c.shards)))
+	if e.Audit {
+		e.auditFinal()
+		if len(e.auditViol) > 0 {
+			return e.stats, fmt.Errorf("runtime: audit found %d invariant violation(s): %v", len(e.auditViol), e.auditViol)
+		}
+	}
+	return e.stats, nil
+}

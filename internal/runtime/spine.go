@@ -1,0 +1,623 @@
+package runtime
+
+// The spine is the parallel engine's incremental re-sequencer: it replays
+// every shard's commit/completion/fault records in exact serial
+// (virtual-time, sequence) order, reconstructing the global interleaving the
+// single-threaded engine would have produced. All order-sensitive
+// observable state — the FNV-1a schedule digest, the schedule trace, the
+// task/H2D histograms (float accumulation order matters for bit-exact
+// sums), plan-recorder callbacks, the fault log and the done/flops totals —
+// is written here, into the top-level engine, and nowhere else.
+//
+// Consumption is gated exactly like the serial engine's commit loop: a
+// device's next commit record is consumed only while the device's pipeline
+// depth is below Lookahead and the task's spine-side in-degree has reached
+// zero — which happens at the same replay position the serial engine would
+// have committed it. A completion frame is replayed only once the owning
+// shard has processed it (its completion record arrived), and its remote
+// releases only once the receiving shards absorbed them (their dec-done
+// records arrived); until then the spine parks and reports which shard it
+// is waiting on, and the coordinator either bursts or locksteps that shard.
+// Every gate doubles as a divergence detector: a mismatched head record
+// means the parallel execution left the serial trajectory.
+
+import (
+	"fmt"
+	"math"
+
+	"geompc/internal/hw"
+	"geompc/internal/prec"
+)
+
+// spineEvent mirrors one in-flight commit (or armed fault) in the global
+// event heap, ordered by (at, seq) exactly like the serial engine's heap.
+type spineEvent struct {
+	at     float64
+	seq    int64
+	task   int32
+	dev    int32
+	start  float64
+	flops  float64
+	kind   hw.KernelKind
+	prec   prec.Precision
+	replay bool
+	fault  *FaultEvent
+}
+
+// recQ is a FIFO of shard records with an amortized-compacting head.
+type recQ struct {
+	buf  []desRec
+	head int
+}
+
+func (q *recQ) empty() bool   { return q.head >= len(q.buf) }
+func (q *recQ) peek() *desRec { return &q.buf[q.head] }
+func (q *recQ) push(r desRec) { q.buf = append(q.buf, r) }
+func (q *recQ) pop() desRec {
+	r := q.buf[q.head]
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return r
+}
+
+// f64Q is the same for H2D byte observations.
+type f64Q struct {
+	buf  []float64
+	head int
+}
+
+func (q *f64Q) empty() bool    { return q.head >= len(q.buf) }
+func (q *f64Q) push(v float64) { q.buf = append(q.buf, v) }
+func (q *f64Q) pop() float64 {
+	v := q.buf[q.head]
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return v
+}
+
+const (
+	stallNone = iota
+	// stallShard: the spine's next serial step is an event the owning shard
+	// has not processed yet.
+	stallShard
+	// stallApply: the spine is mid-frame, waiting for a receiving shard to
+	// absorb a remote release it has already been routed.
+	stallApply
+)
+
+type desSpine struct {
+	c *desCoord
+
+	owner []int16
+
+	// Global replay state mirroring the serial engine.
+	pending      []int32
+	devOf        []int32 // task -> committed/queued device (from enqueue records)
+	committedCnt []int32 // per-device pipeline depth at the replay position
+	dead         []bool
+	heap         []spineEvent
+	seq          int64
+
+	// Per-device and per-rank record queues.
+	devQ      []recQ // forward commit records, per device
+	h2dQ      []f64Q // H2D observations, per device
+	replayQ   []recQ // recovery commit records, per rank
+	completeQ []recQ // completion records, per rank
+	decQ      []recQ // remote-release acknowledgements, per rank
+	faultQ    []recQ // fault-processed records, per rank
+
+	// Replayed totals (serial accumulation order).
+	done       int
+	tasks      int
+	totalFlops float64
+
+	// In-progress completion frame, resumable across catchUp calls when a
+	// remote release is not yet absorbed.
+	frameActive bool
+	frameRank   int
+	frameTask   int32
+	frameSuccs  []int
+	frameIdx    int
+	frameDirty  []int32
+	dirtySet    []bool
+
+	// Stall report for the coordinator's lockstep.
+	stallKind   uint8
+	stallRank   int
+	stallAt     float64
+	stallFault  bool
+	stallDev    int32
+	stallTask   int32
+	stallReplay bool
+
+	// backlog counts demuxed-but-unconsumed records per rank (bounds how
+	// far a shard may run ahead); consumed is the total consumption
+	// counter, the coordinator's progress metric.
+	backlog  []int
+	consumed int64
+
+	err error
+}
+
+func newDesSpine(c *desCoord, n int, plan FaultPlan) *desSpine {
+	e := c.e
+	nd := e.plat.NumDevices()
+	R := e.plat.Ranks
+	s := &desSpine{
+		c:            c,
+		owner:        c.shards[0].owner,
+		pending:      make([]int32, n),
+		devOf:        make([]int32, n),
+		committedCnt: make([]int32, nd),
+		dead:         make([]bool, nd),
+		devQ:         make([]recQ, nd),
+		h2dQ:         make([]f64Q, nd),
+		replayQ:      make([]recQ, R),
+		completeQ:    make([]recQ, R),
+		decQ:         make([]recQ, R),
+		faultQ:       make([]recQ, R),
+		dirtySet:     make([]bool, nd),
+		backlog:      make([]int, R),
+	}
+	for id := 0; id < n; id++ {
+		s.pending[id] = int32(e.g.NumPredecessors(id))
+		s.devOf[id] = -1
+	}
+	// Fault events enter the heap before any commit, with sequence numbers
+	// 1..F in plan order — the exact serial armFaults arithmetic.
+	for _, f := range plan {
+		if f.Kind == FaultSlow {
+			continue
+		}
+		s.seq++
+		fv := f
+		s.pushHeap(spineEvent{at: f.At, seq: s.seq, dev: int32(f.Device), fault: &fv})
+	}
+	return s
+}
+
+// initialReplay mirrors the serial Run prologue's per-device pipeline fill
+// (after setup records have been demuxed).
+func (s *desSpine) initialReplay() {
+	for dev := range s.devQ {
+		s.tryConsume(dev)
+	}
+}
+
+// demux routes one shard's record batch into the spine's queues.
+//
+//geompc:hot
+func (s *desSpine) demux(rank int, recs []desRec) {
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.kind {
+		case recKCommit:
+			if rec.recov {
+				s.replayQ[rank].push(*rec)
+			} else {
+				s.devQ[rec.dev].push(*rec)
+			}
+			s.backlog[rank]++
+		case recKH2D:
+			s.h2dQ[rec.dev].push(rec.val)
+			s.backlog[rank]++
+		case recKEnqueue:
+			s.devOf[rec.task] = rec.dev
+		case recKComplete:
+			s.completeQ[rank].push(*rec)
+			s.backlog[rank]++
+		case recKDecDone:
+			s.decQ[rank].push(*rec)
+			s.backlog[rank]++
+		case recKFaultDone:
+			s.faultQ[rank].push(*rec)
+			s.backlog[rank]++
+		}
+	}
+}
+
+//geompc:hot
+func (s *desSpine) noteConsumed(rank int) {
+	s.backlog[rank]--
+	s.consumed++
+}
+
+func (s *desSpine) rankOfDev(dev int32) int { return s.c.e.plat.RankOfDevice(int(dev)) }
+
+func (s *desSpine) diverge(format string, args ...any) bool {
+	s.err = fmt.Errorf("runtime: parallel engine diverged: "+format, args...)
+	return false
+}
+
+// catchUp replays as far as the arrived records allow, then parks with a
+// stall report (or an empty heap).
+func (s *desSpine) catchUp() {
+	s.stallKind = stallNone
+	for s.err == nil {
+		if s.frameActive {
+			if !s.resumeFrame() {
+				return
+			}
+			continue
+		}
+		if len(s.heap) == 0 {
+			return
+		}
+		top := &s.heap[0]
+		var ok bool
+		switch {
+		case top.fault != nil:
+			ok = s.faultFrame()
+		case top.replay:
+			ok = s.replayFrame()
+		default:
+			ok = s.beginFrame()
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// stallOnHeapTop parks the spine until the owning shard processes the
+// heap's top event.
+func (s *desSpine) stallOnHeapTop(rank int) bool {
+	top := &s.heap[0]
+	s.stallKind = stallShard
+	s.stallRank = rank
+	s.stallAt = top.at
+	s.stallFault = top.fault != nil
+	s.stallDev = top.dev
+	s.stallTask = top.task
+	s.stallReplay = top.replay
+	return false
+}
+
+// beginFrame starts replaying the serially-next completion: consume the
+// shard's completion record, retire the task, route the frame's messages,
+// then absorb its releases (resumeFrame).
+//
+//geompc:hot
+func (s *desSpine) beginFrame() bool {
+	e := s.c.e
+	top := s.heap[0]
+	r := s.rankOfDev(top.dev)
+	q := &s.completeQ[r]
+	if q.empty() {
+		return s.stallOnHeapTop(r)
+	}
+	head := q.peek()
+	if head.task != top.task || head.recov {
+		return s.diverge("rank %d completion stream has task %d (replay=%v) where the serial order expects task %d", r, head.task, head.recov, top.task)
+	}
+	q.pop()
+	s.noteConsumed(r)
+	s.popHeap()
+	if e.Recorder != nil {
+		e.Recorder.RecordComplete(int(top.task))
+	}
+	s.done++
+	s.tasks++
+	s.totalFlops += top.flops
+	s.committedCnt[top.dev]--
+	s.frameSuccs = e.g.Successors(int(top.task), s.frameSuccs[:0])
+	s.frameRank = r
+	s.frameTask = top.task
+	s.frameIdx = 0
+	s.frameDirty = s.frameDirty[:0]
+	s.frameDirty = append(s.frameDirty, top.dev)
+	s.dirtySet[top.dev] = true
+	s.frameActive = true
+	// Release this frame's messages to their receivers: only now is every
+	// earlier-or-equal serial send already delivered, which is what makes
+	// receiver inboxes serial prefixes.
+	s.c.routeFrame(r, top.task)
+	return true
+}
+
+// resumeFrame absorbs the active frame's successor releases (gating remote
+// ones on the receiver's acknowledgement), then refills the pipelines of
+// every device that finished or gained work, in the serial dirty order.
+//
+//geompc:hot
+func (s *desSpine) resumeFrame() bool {
+	for s.frameIdx < len(s.frameSuccs) {
+		sid := s.frameSuccs[s.frameIdx]
+		if int(s.owner[sid]) != s.frameRank {
+			r := int(s.owner[sid])
+			q := &s.decQ[r]
+			if q.empty() {
+				s.stallKind = stallApply
+				s.stallRank = r
+				return false
+			}
+			head := q.pop()
+			s.noteConsumed(r)
+			if head.task != int32(sid) {
+				return s.diverge("rank %d absorbed release of task %d where the serial order expects task %d", r, head.task, sid)
+			}
+		}
+		s.pending[sid]--
+		switch {
+		case s.pending[sid] == 0:
+			dev := s.devOf[sid]
+			if dev < 0 {
+				return s.diverge("task %d released with no enqueue record", sid)
+			}
+			if !s.dirtySet[dev] {
+				s.dirtySet[dev] = true
+				s.frameDirty = append(s.frameDirty, dev)
+			}
+		case s.pending[sid] < 0:
+			s.err = &GraphError{Task: sid, Msg: "released more than its in-degree"} //geompc:nolint hotalloc cold malformed-graph path, run ends here
+			return false
+		}
+		s.frameIdx++
+	}
+	for _, dev := range s.frameDirty {
+		s.dirtySet[dev] = false
+	}
+	for _, dev := range s.frameDirty {
+		s.tryConsume(int(dev))
+	}
+	s.frameDirty = s.frameDirty[:0]
+	s.frameActive = false
+	return true
+}
+
+// tryConsume replays dev's next commits while the serial gates pass: the
+// pipeline is below Lookahead and the head record's task is released at the
+// current replay position. This is the exact serial tryCommit condition, so
+// records from a shard's future sit untouched until the replay reaches the
+// position the serial engine would have committed them.
+//
+//geompc:hot
+func (s *desSpine) tryConsume(dev int) {
+	e := s.c.e
+	if s.dead[dev] {
+		return
+	}
+	q := &s.devQ[dev]
+	for s.committedCnt[dev] < int32(e.Lookahead) && !q.empty() && s.pending[q.peek().task] == 0 {
+		rec := q.pop()
+		s.noteConsumed(s.rankOfDev(rec.dev))
+		s.emitCommit(&rec)
+	}
+}
+
+// emitCommit re-emits one commit's observable effects in serial order and
+// pushes its completion into the spine heap.
+//
+//geompc:hot
+func (s *desSpine) emitCommit(rec *desRec) {
+	e := s.c.e
+	for i := int32(0); i < rec.h2dN; i++ {
+		e.hH2DBytes.Observe(s.h2dQ[rec.dev].pop())
+	}
+	if e.Trace {
+		e.schedule = append(e.schedule, ScheduledTask{
+			ID: int(rec.task), Kind: rec.tkind, Device: int(rec.dev), Prec: rec.prec,
+			Start: rec.start, End: rec.end, Recovery: rec.recov,
+		})
+	}
+	e.hTaskSec.Observe(rec.end - rec.start)
+	e.digest.WriteString(string(rec.tkind))
+	e.digest.WriteInt64(int64(rec.dev))
+	e.digest.WriteFloat64(rec.start)
+	e.digest.WriteFloat64(rec.end)
+	e.digest.WriteInt64(rec.bytes)
+	if e.Recorder != nil && !rec.recov {
+		e.Recorder.RecordCommit(int(rec.task))
+	}
+	s.committedCnt[rec.dev]++
+	s.seq++
+	s.pushHeap(spineEvent{
+		at: rec.end, seq: s.seq, task: rec.task, dev: rec.dev, start: rec.start,
+		flops: rec.flops, kind: rec.tkind, prec: rec.prec, replay: rec.recov,
+	})
+}
+
+// replayFrame retires a recovery re-execution: no successors, no stats —
+// just the pipeline slot and the device's next commit.
+//
+//geompc:hot
+func (s *desSpine) replayFrame() bool {
+	top := s.heap[0]
+	r := s.rankOfDev(top.dev)
+	q := &s.completeQ[r]
+	if q.empty() {
+		return s.stallOnHeapTop(r)
+	}
+	head := q.peek()
+	if head.task != top.task || !head.recov {
+		return s.diverge("rank %d completion stream has task %d (replay=%v) where the serial order expects replay of task %d", r, head.task, head.recov, top.task)
+	}
+	q.pop()
+	s.noteConsumed(r)
+	s.popHeap()
+	s.committedCnt[top.dev]--
+	s.tryConsume(int(top.dev))
+	return true
+}
+
+// faultFrame replays a fault delivery, mirroring killDevice/transientFault
+// arithmetic bit for bit against the shard's fault-done record.
+func (s *desSpine) faultFrame() bool {
+	top := s.heap[0]
+	f := top.fault
+	r := s.rankOfDev(top.dev)
+	q := &s.faultQ[r]
+	if q.empty() {
+		return s.stallOnHeapTop(r)
+	}
+	fd := q.peek()
+	if fd.dev != top.dev || fd.fkind != f.Kind || fd.at != top.at {
+		return s.diverge("rank %d fault stream has %v on dev%d at t=%g where the serial order expects %v on dev%d at t=%g", r, fd.fkind, fd.dev, fd.at, f.Kind, top.dev, top.at)
+	}
+	fdv := q.pop()
+	s.noteConsumed(r)
+	s.popHeap()
+	switch f.Kind {
+	case FaultKill:
+		s.killFrame(f, &fdv, top.at, r)
+	case FaultTransient:
+		s.transientFrame(f, &fdv, top.at)
+	}
+	return s.err == nil
+}
+
+func (s *desSpine) killFrame(f *FaultEvent, fd *desRec, at float64, rank int) {
+	e := s.c.e
+	dev := f.Device
+	if s.dead[dev] {
+		if fd.replays != 0 {
+			s.diverge("kill of already-dead dev%d replayed %d tasks", dev, fd.replays)
+		}
+		return
+	}
+	s.dead[dev] = true
+	e.faultLog = append(e.faultLog, faultMark{kind: FaultKill, device: dev, at: at})
+	e.digest.WriteString("kill")
+	e.digest.WriteInt64(int64(dev))
+	e.digest.WriteFloat64(at)
+	// The dead device's in-flight completions are aborted (serial step 1).
+	kept := s.heap[:0]
+	for _, ev := range s.heap {
+		if ev.fault == nil && int(ev.dev) == dev {
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	s.heap = kept
+	s.heapify()
+	s.committedCnt[dev] = 0
+	// Lineage replays (serial step 2), in the shard's emission order.
+	rq := &s.replayQ[rank]
+	for i := int32(0); i < fd.replays; i++ {
+		if rq.empty() {
+			s.diverge("kill of dev%d reports %d replays but only %d records arrived", dev, fd.replays, i)
+			return
+		}
+		rec := rq.pop()
+		s.noteConsumed(rank)
+		s.emitCommit(&rec)
+	}
+	// Survivor pipeline refill (serial step 5): every device, id order.
+	for d := range s.devQ {
+		s.tryConsume(d)
+	}
+}
+
+func (s *desSpine) transientFrame(f *FaultEvent, fd *desRec, at float64) {
+	e := s.c.e
+	dev := f.Device
+	if s.dead[dev] {
+		return
+	}
+	e.faultLog = append(e.faultLog, faultMark{kind: FaultTransient, device: dev, at: at})
+	best := -1
+	for i := range s.heap {
+		ev := &s.heap[i]
+		if ev.fault != nil || int(ev.dev) != dev {
+			continue
+		}
+		if best < 0 || ev.at > s.heap[best].at ||
+			(ev.at == s.heap[best].at && ev.seq > s.heap[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		if !math.IsInf(fd.retryAt, -1) {
+			s.diverge("transient fault on idle dev%d but shard retried at t=%g", dev, fd.retryAt)
+		}
+		return
+	}
+	ev := &s.heap[best]
+	retryDur := ev.at - ev.start
+	if retryDur < 0 {
+		retryDur = 0
+	}
+	retryStart := ev.at + f.Backoff
+	newAt := retryStart + retryDur
+	if fd.retryAt != newAt {
+		s.diverge("transient fault on dev%d: shard retried at t=%g, serial order expects t=%g", dev, fd.retryAt, newAt)
+		return
+	}
+	if e.Trace {
+		e.schedule = append(e.schedule, ScheduledTask{
+			ID: int(ev.task), Kind: ev.kind, Device: dev, Prec: ev.prec,
+			Start: retryStart, End: newAt, Recovery: true,
+		})
+	}
+	e.digest.WriteString("retry")
+	e.digest.WriteInt64(int64(dev))
+	e.digest.WriteFloat64(newAt)
+	ev.at = newAt
+	s.heapify()
+}
+
+// Heap primitives, ordered by (at, seq) like the serial event heap.
+
+func spineBefore(a, b *spineEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+//geompc:hot
+func (s *desSpine) pushHeap(ev spineEvent) {
+	s.heap = append(s.heap, ev)
+	h := s.heap
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !spineBefore(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+//geompc:hot
+func (s *desSpine) popHeap() spineEvent {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	siftDownSpine(h, 0)
+	s.heap = h
+	return top
+}
+
+func siftDownSpine(h []spineEvent, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && spineBefore(&h[l], &h[m]) {
+			m = l
+		}
+		if r < n && spineBefore(&h[r], &h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (s *desSpine) heapify() {
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		siftDownSpine(s.heap, i)
+	}
+}
