@@ -23,7 +23,7 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/ ./internal/cholesky/ ./internal/plan/ ./internal/sweep/
+	$(GO) test -race ./internal/runtime/ ./internal/cholesky/ ./internal/plan/ ./internal/sweep/ ./internal/cg/ ./internal/solver/
 
 # Focused benchmark trajectory (see BENCH_kernels.json): per-precision
 # 256x256 GEMM + SYRK/TRSM kernels, the phantom NT=64 Cholesky, the
@@ -32,7 +32,9 @@ race:
 # parallel-sweep pair (serial reference vs 4-worker pool) and the
 # parallel-DES pair (serial event loop vs 4 rank loops on a multi-rank
 # phantom run); both pairs run at -cpu 4 — benchjson records GOMAXPROCS
-# per line, so they stay honest even on smaller hosts.
+# per line, so they stay honest even on smaller hosts. The
+# solver-ablation pair (SolverAblationDirect / SolverAblationCG) times
+# the direct-vs-iterative backend grid from internal/bench/solver.go.
 # BENCHTIME=1x gives a CI smoke run; the committed
 # artifact uses 5x against the seed baseline in results/bench_seed.txt.
 BENCHTIME ?= 5x
@@ -42,6 +44,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'PhantomNT64$$' -benchmem -benchtime $(BENCHTIME) -cpu 1 ./internal/cholesky/ >> results/bench_after.txt
 	$(GO) test -run '^$$' -bench 'Fig12WeakStep|PlanAblationMLE' -benchmem -benchtime $(BENCHTIME) -cpu 1 ./internal/bench/ >> results/bench_after.txt
 	$(GO) test -run '^$$' -bench 'SweepParallel|DESParallel' -benchmem -benchtime $(BENCHTIME) -cpu 4 ./internal/bench/ >> results/bench_after.txt
+	$(GO) test -run '^$$' -bench 'SolverAblation' -benchmem -benchtime $(BENCHTIME) -cpu 1 ./internal/bench/ >> results/bench_after.txt
 	$(GO) run ./cmd/benchjson -seed results/bench_seed.txt < results/bench_after.txt > BENCH_kernels.json
 
 bench-all:

@@ -81,3 +81,52 @@ func TestRunPlanSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestRunSolverDirectByteIdentical(t *testing.T) {
+	// -solver direct must be a no-op on a deterministic family's bytes
+	// (the -plan family prints host wall-clock, so it is excluded here and
+	// covered by TestRunSolversPlanCG below).
+	args := []string{"-solvers", "-lookahead", "-n", "16384"}
+	var def, direct bytes.Buffer
+	if err := run(args, &def); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-solver", "direct"), &direct); err != nil {
+		t.Fatal(err)
+	}
+	if def.String() != direct.String() {
+		t.Errorf("-solver direct changed the output:\ndefault:\n%s\ndirect:\n%s", def.String(), direct.String())
+	}
+}
+
+func TestRunSolversSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-solvers"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"solver backends: direct factorization vs mixed-precision CG", "direct", "cg"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSolversPlanCG(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-plan", "-n", "16384", "-plan-evals", "4", "-solver", "cg"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"compiled-plan cache [cg backend]", "plan-cache", "fresh"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSolverUnknown(t *testing.T) {
+	if err := run([]string{"-solvers", "-solver", "qr"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown -solver must fail")
+	}
+}

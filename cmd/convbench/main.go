@@ -40,7 +40,7 @@ func run(args []string, out io.Writer) error {
 	node := fs.Bool("node", false, "use every GPU of the node (Fig 11)")
 	sizesFlag := fs.String("sizes", "", "comma-separated matrix sizes (default: per-machine sweep)")
 	ts := fs.Int("ts", 2048, "tile size")
-	v := cliflags.Register(fs, cliflags.Sched|cliflags.Faults|cliflags.PlanCache|cliflags.Workers|cliflags.EngineWorkers)
+	v := cliflags.Register(fs, cliflags.Sched|cliflags.Faults|cliflags.PlanCache|cliflags.Workers|cliflags.EngineWorkers|cliflags.Solver)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +87,9 @@ func run(args []string, out io.Writer) error {
 	fig := "Fig 8"
 	if g > 1 {
 		fig = "Fig 11"
+	}
+	if v.Solver != "" && v.Solver != "direct" {
+		fmt.Fprintf(out, "solver backend: %s\n\n", v.Solver)
 	}
 	t := bench.NewTable(
 		fmt.Sprintf("%s: STC vs TTC on %d×%s (%s)", fig, g, nd.GPU.Name, nd.Name),

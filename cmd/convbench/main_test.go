@@ -66,3 +66,37 @@ func TestRunEngineWorkersMatchesSerial(t *testing.T) {
 		t.Errorf("-engine-workers 2 changed the tables:\nserial:\n%s\nparallel:\n%s", serial.String(), par.String())
 	}
 }
+
+func TestRunSolverDirectByteIdentical(t *testing.T) {
+	// -solver direct must be a no-op: the default path's bytes, unchanged.
+	args := []string{"-machine", "Summit", "-gpus", "1", "-sizes", "8192,16384"}
+	var def, direct bytes.Buffer
+	if err := run(args, &def); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-solver", "direct"), &direct); err != nil {
+		t.Fatal(err)
+	}
+	if def.String() != direct.String() {
+		t.Errorf("-solver direct changed the output:\ndefault:\n%s\ndirect:\n%s", def.String(), direct.String())
+	}
+}
+
+func TestRunSolverCGSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-machine", "Summit", "-gpus", "1", "-sizes", "8192", "-solver", "cg"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"solver backend: cg", "Fig 8: STC vs TTC on 1×V100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSolverUnknown(t *testing.T) {
+	if err := run([]string{"-sizes", "8192", "-solver", "qr"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown -solver must fail")
+	}
+}

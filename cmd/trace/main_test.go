@@ -79,3 +79,56 @@ func TestRunEngineWorkersMatchesSerial(t *testing.T) {
 		t.Errorf("-engine-workers 2 changed the output:\nserial:\n%s\nparallel:\n%s", serial.String(), par.String())
 	}
 }
+
+func TestRunSolverDirectByteIdentical(t *testing.T) {
+	// -solver direct must be a no-op: the default path's bytes, unchanged.
+	args := []string{"-nt", "4", "-gpus", "2"}
+	var def, direct bytes.Buffer
+	if err := run(args, &def); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-solver", "direct"), &direct); err != nil {
+		t.Fatal(err)
+	}
+	if def.String() != direct.String() {
+		t.Errorf("-solver direct changed the output:\ndefault:\n%s\ndirect:\n%s", def.String(), direct.String())
+	}
+}
+
+func TestRunSolverCGSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nt", "2", "-gpus", "2", "-solver", "cg", "-iters", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"simulated cg schedule, NT=2", "SPMV(0,", "ALPHA(0)", "iterations", "converged true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "SPMV(1,") {
+		t.Errorf("-iters 1 leaked iteration 1 tasks:\n%s", s)
+	}
+}
+
+func TestRunSolverCGPlanCache(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nt", "2", "-gpus", "2", "-solver", "cg", "-plan-cache"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replay digest verified") {
+		t.Errorf("missing plan-cache replay check:\n%s", out.String())
+	}
+}
+
+func TestRunSolverUnknown(t *testing.T) {
+	if err := run([]string{"-solver", "qr"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown -solver must fail")
+	}
+}
+
+func TestRunSolverCGChromeRejected(t *testing.T) {
+	if err := run([]string{"-solver", "cg", "-chrome", "/tmp/x.json"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-chrome with -solver cg must fail")
+	}
+}

@@ -43,12 +43,14 @@ var Analyzer = &analysis.Analyzer{
 // randomness are banned outright.
 var clockPkgs = map[string]bool{
 	"runtime": true, "sched": true, "comm": true, "cholesky": true,
+	"solver": true, "cg": true,
 }
 
 // orderPkgs additionally includes obs, where map iteration order can leak
 // into rendered digests, traces and metric snapshots.
 var orderPkgs = map[string]bool{
 	"runtime": true, "sched": true, "comm": true, "cholesky": true, "obs": true,
+	"solver": true, "cg": true,
 }
 
 func run(pass *analysis.Pass) {

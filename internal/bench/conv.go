@@ -9,6 +9,7 @@ import (
 	"geompc/internal/prec"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
+	"geompc/internal/solver"
 	"geompc/internal/sweep"
 	"geompc/internal/tile"
 )
@@ -110,11 +111,16 @@ func convGrid(sizes []int) []convPoint {
 }
 
 // convSweep is the shared sweep body, routed through the deterministic
-// sweep executor (serial when so.Workers == 0); a non-nil cache routes
-// every run through cholesky.RunCached and is shared across workers (see
+// sweep executor (serial when so.Workers == 0) and the solver backend
+// so.Solver names (default "direct" — bit-identical to the historical
+// cholesky.RunCached path); a non-nil cache is shared across workers (see
 // ConvSweepCached and the plan.Cache concurrency contract).
 func convSweep(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int, faultSpec string, so SchedOpts, cache *planpkg.Cache) ([]ConvRow, error) {
 	pol, topo, err := so.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	be, err := solver.ByName(so.Solver)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +147,7 @@ func convSweep(node *hw.NodeSpec, ranks, gpusPerRank int, sizes []int, ts int, f
 			return ConvRow{}, err
 		}
 		maps := precmap.New(p.cfg.KernelMap(desc.NT), 1e-2)
-		res, err := cholesky.RunCached(cholesky.Config{
+		res, err := be.SolveCached(solver.Config{
 			Desc: desc, Maps: maps, Platform: plat, Strategy: p.strat,
 			Faults: faults, Sched: pol, Bcast: topo,
 			EngineWorkers: so.EnginePerPoint(len(pts)),

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"time"
 
-	"geompc/internal/cholesky"
 	"geompc/internal/hw"
 	planpkg "geompc/internal/plan"
 	"geompc/internal/prec"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
+	"geompc/internal/solver"
 	"geompc/internal/sweep"
 	"geompc/internal/tile"
 )
@@ -48,8 +48,21 @@ func PlanAblation(n, ts, k int, node *hw.NodeSpec) ([]PlanRow, error) {
 // variants time-share cores and the wall-clock comparison loses meaning;
 // keep this family serial when the speedup column matters.
 func PlanAblationOpts(n, ts, k int, node *hw.NodeSpec, so SweepOpts) ([]PlanRow, error) {
+	return PlanAblationBackend(n, ts, k, node, "direct", so)
+}
+
+// PlanAblationBackend is the ablation through a named solver backend:
+// "direct" replays one frozen factorization schedule per evaluation
+// (bit-identical to the historical loop); "cg" replays one compiled plan
+// per distinct chunk precision schedule, so the counters show the
+// hit/miss mix an iterative MLE loop would see.
+func PlanAblationBackend(n, ts, k int, node *hw.NodeSpec, backend string, so SweepOpts) ([]PlanRow, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("bench: plan ablation needs k >= 2 evaluations, got %d", k)
+	}
+	be, err := solver.ByName(backend)
+	if err != nil {
+		return nil, err
 	}
 	plat, err := runtime.NewPlatform(node, 1, 1)
 	if err != nil {
@@ -60,8 +73,8 @@ func PlanAblationOpts(n, ts, k int, node *hw.NodeSpec, so SweepOpts) ([]PlanRow,
 		return nil, err
 	}
 	maps := precmap.New(ConvConfig{OffDiag: prec.FP16x32}.KernelMap(desc.NT), 1e-4)
-	cfg := cholesky.Config{
-		Desc: desc, Maps: maps, Platform: plat, Strategy: cholesky.Auto,
+	cfg := solver.Config{
+		Desc: desc, Maps: maps, Platform: plat, Strategy: solver.Auto,
 		EngineWorkers: so.EnginePerPoint(2),
 	}
 
@@ -74,7 +87,7 @@ func PlanAblationOpts(n, ts, k int, node *hw.NodeSpec, so SweepOpts) ([]PlanRow,
 			var digest uint64
 			start := time.Now()
 			for e := 0; e < k; e++ {
-				res, err := cholesky.Run(cfg)
+				res, err := be.Solve(cfg)
 				if err != nil {
 					return variant{}, fmt.Errorf("bench: plan ablation fresh eval %d: %w", e, err)
 				}
@@ -87,7 +100,7 @@ func PlanAblationOpts(n, ts, k int, node *hw.NodeSpec, so SweepOpts) ([]PlanRow,
 		var digest uint64
 		start := time.Now()
 		for e := 0; e < k; e++ {
-			res, err := cholesky.RunCached(cfg, cache)
+			res, err := be.SolveCached(cfg, cache)
 			if err != nil {
 				return variant{}, fmt.Errorf("bench: plan ablation cached eval %d: %w", e, err)
 			}

@@ -76,6 +76,10 @@ func (o SweepOpts) sweepOptions() sweep.Options {
 type SchedOpts struct {
 	Policy string // sched.ByName: "", "fifo", "locality", "cp"
 	Bcast  string // comm.TopologyByName: "", "binomial", "flat", "chain"
+	// Solver is the backend the sweep routes solves through (solver.ByName
+	// spelling; "" = "direct"). Families that are intrinsically
+	// factorization-shaped ignore it.
+	Solver string
 	SweepOpts
 }
 

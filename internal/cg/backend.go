@@ -1,0 +1,22 @@
+package cg
+
+import (
+	"geompc/internal/plan"
+	"geompc/internal/solver"
+)
+
+// cgBackend registers the iterative solve path as solver backend "cg".
+type cgBackend struct{}
+
+func init() { solver.Register(cgBackend{}) }
+
+// Name implements solver.Backend.
+func (cgBackend) Name() string { return "cg" }
+
+// Solve implements solver.Backend.
+func (cgBackend) Solve(cfg solver.Config) (*solver.Result, error) { return Run(cfg) }
+
+// SolveCached implements solver.Backend.
+func (cgBackend) SolveCached(cfg solver.Config, c *plan.Cache) (*solver.Result, error) {
+	return RunCached(cfg, c)
+}

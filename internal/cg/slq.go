@@ -1,0 +1,163 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+
+	"geompc/internal/solver"
+	"geompc/internal/stats"
+)
+
+// LogDetSLQ estimates log det Σ by stochastic Lanczos quadrature: for each
+// of `probes` Rademacher vectors z it runs `iters` unpreconditioned CG
+// iterations (through the same task-graph engine as the solve, so the
+// probe cost is simulated and metered like any other solve), rebuilds the
+// Lanczos tridiagonal T from the CG α/β coefficients, and evaluates
+// n·e₁ᵀ log(T) e₁ by a Jacobi eigendecomposition of T. The mean over
+// probes is the estimate. Probe p draws from the deterministic stream
+// (seed, p), so the estimate is reproducible bit-for-bit.
+//
+// The per-probe stats/metrics accumulate into the returned Results slice
+// so callers (the MLE loop) can meter the probes' simulated cost.
+func LogDetSLQ(cfg solver.Config, probes, iters int, seed uint64) (float64, []*solver.Result, error) {
+	if cfg.Matrix == nil || cfg.Matrix.Phantom {
+		return 0, nil, fmt.Errorf("cg: SLQ log-det needs numeric tile data")
+	}
+	if probes <= 0 {
+		probes = 4
+	}
+	if iters <= 0 {
+		iters = 24
+	}
+	n := cfg.Desc.N
+	pcfg := cfg
+	pcfg.Iter.Precond = "none" // plain Lanczos recurrence
+	pcfg.Iter.MaxIters = iters
+	pcfg.Iter.Tol = 1e-300 // run the full Krylov depth
+
+	est := 0.0
+	results := make([]*solver.Result, 0, probes)
+	for p := 0; p < probes; p++ {
+		rng := stats.NewRNG(seed, uint64(p))
+		z := make([]float64, n)
+		for i := range z {
+			z[i] = float64(2*rng.IntN(2) - 1) // Rademacher ±1
+		}
+		pcfg.RHS = z
+		res, st, err := solve(pcfg, nil, true)
+		if err != nil {
+			return 0, nil, err
+		}
+		results = append(results, res)
+		if res.Err != nil {
+			return 0, nil, fmt.Errorf("cg: SLQ probe %d: %w", p, res.Err)
+		}
+		v, err := probeLogDet(st, res.Iterations, n)
+		if err != nil {
+			return 0, nil, fmt.Errorf("cg: SLQ probe %d: %w", p, err)
+		}
+		est += v
+	}
+	return est / float64(probes), results, nil
+}
+
+// probeLogDet converts one probe's CG coefficients into its quadrature
+// contribution n·Σᵢ (V₀ᵢ)² log λᵢ over the Lanczos tridiagonal's
+// eigenpairs (λ, V).
+func probeLogDet(st *state, m, n int) (float64, error) {
+	if m < 1 {
+		return 0, fmt.Errorf("no iterations completed")
+	}
+	// Lanczos T from the CG recurrence:
+	//   T[j][j]   = 1/α_j + β_{j-1}/α_{j-1}
+	//   T[j][j+1] = √β_j / α_j
+	t := make([]float64, m*m)
+	for j := 0; j < m; j++ {
+		if st.alphas[j] == 0 {
+			return 0, fmt.Errorf("zero CG step at iteration %d", j)
+		}
+		d := 1 / st.alphas[j]
+		if j > 0 {
+			d += st.betas[j-1] / st.alphas[j-1]
+		}
+		t[j*m+j] = d
+		if j < m-1 {
+			if st.betas[j] < 0 {
+				return 0, fmt.Errorf("negative CG β at iteration %d", j)
+			}
+			o := math.Sqrt(st.betas[j]) / st.alphas[j]
+			t[j*m+j+1] = o
+			t[(j+1)*m+j] = o
+		}
+	}
+	eig, vec := jacobiEig(t, m)
+	sum := 0.0
+	for i := 0; i < m; i++ {
+		w := vec[i] // first row of V: e₁ᵀ v_i
+		if w == 0 {
+			continue
+		}
+		if eig[i] <= 0 {
+			return 0, fmt.Errorf("non-positive Ritz value %g: %w", eig[i], ErrNotSPD)
+		}
+		sum += w * w * math.Log(eig[i])
+	}
+	return float64(n) * sum, nil
+}
+
+// jacobiEig diagonalizes the dense symmetric m×m matrix a (row-major,
+// destroyed) by cyclic Jacobi rotations, returning the eigenvalues and the
+// eigenvector matrix V (row-major: V[i*m+j] is component i of eigenvector
+// j). Deterministic: fixed sweep order, fixed iteration cap.
+func jacobiEig(a []float64, m int) (eig, v []float64) {
+	v = make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		v[i*m+i] = 1
+	}
+	for sweep := 0; sweep < 64; sweep++ {
+		off := 0.0
+		for p := 0; p < m; p++ {
+			for q := p + 1; q < m; q++ {
+				off += a[p*m+q] * a[p*m+q]
+			}
+		}
+		if off <= 1e-30 {
+			break
+		}
+		for p := 0; p < m; p++ {
+			for q := p + 1; q < m; q++ {
+				apq := a[p*m+q]
+				if apq == 0 {
+					continue
+				}
+				theta := (a[q*m+q] - a[p*m+p]) / (2 * apq)
+				tt := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					tt = -tt
+				}
+				c := 1 / math.Sqrt(tt*tt+1)
+				s := tt * c
+				for k := 0; k < m; k++ {
+					akp, akq := a[k*m+p], a[k*m+q]
+					a[k*m+p] = c*akp - s*akq
+					a[k*m+q] = s*akp + c*akq
+				}
+				for k := 0; k < m; k++ {
+					apk, aqk := a[p*m+k], a[q*m+k]
+					a[p*m+k] = c*apk - s*aqk
+					a[q*m+k] = s*apk + c*aqk
+				}
+				for k := 0; k < m; k++ {
+					vkp, vkq := v[k*m+p], v[k*m+q]
+					v[k*m+p] = c*vkp - s*vkq
+					v[k*m+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	eig = make([]float64, m)
+	for i := 0; i < m; i++ {
+		eig[i] = a[i*m+i]
+	}
+	return eig, v
+}

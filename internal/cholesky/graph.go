@@ -8,28 +8,24 @@ import (
 	"geompc/internal/prec"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
+	"geompc/internal/solver"
 	"geompc/internal/tile"
 )
 
-// Strategy selects how communication precision is chosen.
-type Strategy int
+// Strategy selects how communication precision is chosen. It is the
+// backend-agnostic solver.Strategy — aliased here so the direct backend's
+// historical API (cholesky.Auto, cholesky.ForceTTC) keeps compiling
+// unchanged now that the solve path is pluggable (see internal/solver).
+type Strategy = solver.Strategy
 
 const (
 	// Auto is the paper's automated conversion strategy: Algorithm 2's
 	// comm-precision map decides STC vs TTC per task.
-	Auto Strategy = iota
+	Auto = solver.Auto
 	// ForceTTC always sends at storage precision with receiver-side
 	// conversion — the lower bound of Fig 8.
-	ForceTTC
+	ForceTTC = solver.ForceTTC
 )
-
-// String implements fmt.Stringer.
-func (s Strategy) String() string {
-	if s == ForceTTC {
-		return "TTC"
-	}
-	return "STC"
-}
 
 // graph is the runtime.Graph of one factorization.
 type graph struct {
@@ -106,17 +102,9 @@ func (g *graph) storageBytes(i, j int) int64 {
 func (g *graph) trsmExec(m, k int) prec.Precision { return g.maps.Storage[m][k] }
 
 // wireFormat maps a precision to the element format actually on the wire:
-// half-input precisions share the binary16 representation.
-func wireFormat(p prec.Precision) prec.Precision {
-	switch p {
-	case prec.FP64:
-		return prec.FP64
-	case prec.FP32, prec.TF32:
-		return prec.FP32
-	default:
-		return prec.FP16
-	}
-}
+// half-input precisions share the binary16 representation. The mapping is
+// shared with the iterative backend as prec.Wire.
+func wireFormat(p prec.Precision) prec.Precision { return prec.Wire(p) }
 
 // execInputFormat is the element format a kernel consumes its inputs in.
 func execInputFormat(p prec.Precision) prec.Precision { return wireFormat(p) }

@@ -19,14 +19,17 @@ const (
 )
 
 // planShapeSig hashes everything that determines a factorization's schedule
-// except the precision maps and the numeric tile contents: tiling, process
-// grid, platform, conversion strategy, scheduling policy, broadcast
-// topology, pipeline depth and front-end. Two configs with equal shape
-// signatures and equal map signatures produce bit-identical schedules, so a
-// plan compiled under one replays the other.
+// except the precision maps and the numeric tile contents: solver backend,
+// tiling, process grid, platform, conversion strategy, scheduling policy,
+// broadcast topology, pipeline depth and front-end. Two configs with equal
+// shape signatures and equal map signatures produce bit-identical
+// schedules, so a plan compiled under one replays the other. The backend
+// name keeps direct and iterative plans (internal/cg) from ever colliding
+// in one cache.
 func planShapeSig(cfg Config, fe frontEnd) uint64 {
 	var d obs.Digest
 	d.WriteString("geompc/plan/v1")
+	d.WriteString("direct")
 	d.WriteString(string(fe))
 	d.WriteInt64(int64(cfg.Desc.N))
 	d.WriteInt64(int64(cfg.Desc.TS))

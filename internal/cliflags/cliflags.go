@@ -13,6 +13,7 @@ import (
 
 	"geompc/internal/bench"
 	"geompc/internal/runtime"
+	"geompc/internal/solver"
 )
 
 // Set selects which flag groups Register installs; or the groups together.
@@ -29,6 +30,8 @@ const (
 	Workers
 	// EngineWorkers registers -engine-workers.
 	EngineWorkers
+	// Solver registers -solver.
+	Solver
 )
 
 // Values holds the parsed values of the registered groups; fields of
@@ -52,6 +55,9 @@ type Values struct {
 	// loops, negative = auto (composed with -workers under one core
 	// budget; see bench.SweepOpts.EnginePerPoint).
 	EngineWorkers int
+	// Solver is the -solver backend name (solver.ByName spelling;
+	// "direct" unless overridden).
+	Solver string
 }
 
 // Register installs the selected flag groups on fs and returns the holder
@@ -74,13 +80,21 @@ func Register(fs *flag.FlagSet, set Set) *Values {
 	if set&EngineWorkers != 0 {
 		fs.IntVar(&v.EngineWorkers, "engine-workers", 0, "parallel DES engine rank loops per run: 0 = serial event loop, -1 = auto; schedules and factors are bit-identical at any setting")
 	}
+	if set&Solver != 0 {
+		fs.StringVar(&v.Solver, "solver", "direct", "solver backend: direct (tile Cholesky) or cg (mixed-precision conjugate gradient)")
+	}
 	return v
 }
 
+// Backend resolves the -solver value against the backend registry.
+func (v *Values) Backend() (solver.Backend, error) {
+	return solver.ByName(v.Solver)
+}
+
 // SchedOpts assembles the bench-level sweep options from the parsed
-// values (policy and topology names plus the worker count).
+// values (policy, topology and solver names plus the worker count).
 func (v *Values) SchedOpts() bench.SchedOpts {
-	return bench.SchedOpts{Policy: v.Sched, Bcast: v.Bcast, SweepOpts: v.SweepOpts()}
+	return bench.SchedOpts{Policy: v.Sched, Bcast: v.Bcast, Solver: v.Solver, SweepOpts: v.SweepOpts()}
 }
 
 // SweepOpts returns just the sweep-execution knobs.

@@ -1,0 +1,115 @@
+package linalg
+
+import (
+	"geompc/internal/fp16"
+	"geompc/internal/prec"
+)
+
+// Mixed-precision GEMV kernels for the iterative solver backend
+// (internal/cg): one tile-column step of the matvec q = Σ·p, computed in
+// the arithmetic model of each precision the same way the GEMM kernels
+// are — inputs quantized to the format's input representation, partial
+// products accumulated in the format's accumulator (float32 for every
+// sub-FP64 format, binary16 combine for pure FP16), result folded into
+// the FP64 state vector.
+
+// GemvNPrec computes y = alpha·A·x + beta·y for row-major m×n A with
+// leading dimension lda, in precision p's arithmetic model.
+func GemvNPrec(p prec.Precision, m, n int, alpha float64, a []float64, lda int, x []float64, beta float64, y []float64) {
+	if p == prec.FP64 {
+		for i := 0; i < m; i++ {
+			row := a[i*lda:][:n]
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] = alpha*s + beta*y[i]
+		}
+		return
+	}
+	q := quantizerFor(p)
+	xq := f32Scratch(n)
+	for j := 0; j < n; j++ {
+		xq[j] = q(float32(x[j]))
+	}
+	alf, bef := float32(alpha), float32(beta)
+	betaZero := beta == 0
+	for i := 0; i < m; i++ {
+		row := a[i*lda:][:n]
+		var s float32
+		for j, v := range row {
+			s += q(float32(v)) * xq[j]
+		}
+		y[i] = gemvStore(p, alf, s, betaZero, bef, y[i])
+	}
+	putF32(xq)
+}
+
+// GemvTPrec computes y = alpha·Aᵀ·x + beta·y for row-major m×n A with
+// leading dimension lda (so y has n elements, x has m), in precision p's
+// arithmetic model.
+func GemvTPrec(p prec.Precision, m, n int, alpha float64, a []float64, lda int, x []float64, beta float64, y []float64) {
+	if p == prec.FP64 {
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < m; i++ {
+				s += a[i*lda+j] * x[i]
+			}
+			y[j] = alpha*s + beta*y[j]
+		}
+		return
+	}
+	q := quantizerFor(p)
+	xq := f32Scratch(m)
+	for i := 0; i < m; i++ {
+		xq[i] = q(float32(x[i]))
+	}
+	acc := f32Scratch(n)
+	for j := 0; j < n; j++ {
+		acc[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		row := a[i*lda:][:n]
+		xi := xq[i]
+		for j, v := range row {
+			acc[j] += q(float32(v)) * xi
+		}
+	}
+	alf, bef := float32(alpha), float32(beta)
+	betaZero := beta == 0
+	for j := 0; j < n; j++ {
+		y[j] = gemvStore(p, alf, acc[j], betaZero, bef, y[j])
+	}
+	putF32(acc)
+	putF32(xq)
+}
+
+// quantizerFor returns the per-element input quantizer of precision p's
+// sub-FP64 arithmetic model (the same rounding the pack loops apply).
+func quantizerFor(p prec.Precision) func(float32) float32 {
+	switch p {
+	case prec.FP32:
+		return func(v float32) float32 { return v }
+	case prec.TF32:
+		return fp16.TF32Round
+	case prec.BF16x32:
+		return fp16.BF16Round
+	case prec.FP16x32, prec.FP16:
+		return fp16.QuantF32
+	default:
+		panic("linalg: invalid precision " + p.String())
+	}
+}
+
+// gemvStore folds one accumulated partial s into the FP64 state: the x32
+// formats combine in float32 (tensor-core accumulator), pure FP16 applies
+// the binary16 alpha/beta chain of the GEMM kernel.
+func gemvStore(p prec.Precision, alf, s float32, betaZero bool, bef float32, yi float64) float64 {
+	if p == prec.FP16 {
+		return fp16Store(alf, s, betaZero, bef, yi)
+	}
+	if betaZero {
+		return float64(alf * s)
+	}
+	return float64(alf*s + bef*float32(yi))
+}

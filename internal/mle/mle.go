@@ -24,6 +24,7 @@ import (
 	"geompc/internal/prec"
 	"geompc/internal/precmap"
 	"geompc/internal/runtime"
+	"geompc/internal/solver"
 	"geompc/internal/stats"
 	"geompc/internal/tile"
 )
@@ -55,6 +56,15 @@ type Problem struct {
 	// Fit additionally memoizes the objective when a cache is set — the
 	// optimizer's restart loop re-evaluates incumbents bit-exactly.
 	PlanCache *plan.Cache
+	// Solver selects the solve path of each likelihood evaluation: "" or
+	// "direct" factorizes Σ with the adaptive mixed-precision Cholesky;
+	// "cg" solves Σ⁻¹Z iteratively (internal/cg) and estimates log|Σ| by
+	// stochastic Lanczos quadrature.
+	Solver string
+	// SLQProbes and SLQIters tune the cg path's log-det estimator
+	// (defaults 4 probes × 24 Lanczos iterations); direct ignores them.
+	SLQProbes int
+	SLQIters  int
 }
 
 func (p *Problem) defaults() error {
@@ -87,18 +97,38 @@ type RunStats struct {
 	Energy                       float64
 	Flops                        float64
 	BytesH2D, BytesD2H, BytesNet int64
+	// Iterations sums the CG iterations of iterative-solver evaluations
+	// (solves plus log-det probes); 0 under the direct solver.
+	Iterations int
 	// Rejected counts evaluations where the covariance was not SPD.
 	Rejected int
 }
 
+func (s *RunStats) accumulate(st runtime.Stats) {
+	s.Time += st.Makespan
+	s.Energy += st.Energy
+	s.Flops += st.TotalFlops
+	s.BytesH2D += st.BytesH2D
+	s.BytesD2H += st.BytesD2H
+	s.BytesNet += st.BytesNet
+}
+
 func (s *RunStats) add(r *cholesky.Result) {
 	s.Evaluations++
-	s.Time += r.Stats.Makespan
-	s.Energy += r.Stats.Energy
-	s.Flops += r.Stats.TotalFlops
-	s.BytesH2D += r.Stats.BytesH2D
-	s.BytesD2H += r.Stats.BytesD2H
-	s.BytesNet += r.Stats.BytesNet
+	s.accumulate(r.Stats)
+}
+
+// addSolver accounts one iterative solve (an evaluation's main system).
+func (s *RunStats) addSolver(r *solver.Result) {
+	s.Evaluations++
+	s.accumulate(r.Stats)
+	s.Iterations += r.Iterations
+}
+
+// addProbe accounts one SLQ log-det probe (cost without an evaluation).
+func (s *RunStats) addProbe(r *solver.Result) {
+	s.accumulate(r.Stats)
+	s.Iterations += r.Iterations
 }
 
 // NegLogLik evaluates −ℓ(θ). It returns +Inf (with no error) when Σ(θ) is
@@ -127,6 +157,15 @@ func (p *Problem) NegLogLik(theta []float64, rs *RunStats) (float64, error) {
 	}
 	maps := precmap.New(km, p.UReq)
 	mat.SetStorage(func(i, j int) prec.Precision { return maps.Storage[i][j] })
+
+	switch p.Solver {
+	case "", "direct":
+		// fall through to the factorization path below
+	case "cg":
+		return p.negLogLikCG(desc, maps, mat, rs)
+	default:
+		return 0, fmt.Errorf("mle: unknown solver %q (have direct, cg)", p.Solver)
+	}
 
 	res, err := cholesky.RunCached(cholesky.Config{
 		Desc: desc, Maps: maps, Platform: p.Platform, Matrix: mat, Strategy: p.Strategy,
@@ -317,6 +356,8 @@ type MCConfig struct {
 	// differ, and sharing one cache across workers would thrash the single
 	// per-shape slot).
 	PlanCache bool
+	// Solver selects each replica's solve path (see Problem.Solver).
+	Solver string
 }
 
 // MCResult holds, for each accuracy level, the per-parameter estimate
@@ -410,6 +451,7 @@ func runReplica(cfg MCConfig, ureq float64, r, np int) (o mcOutcome) {
 	p := &Problem{
 		Locs: locs, Z: z, Kernel: cfg.Kernel, Nugget: cfg.Nugget,
 		TileSize: cfg.TileSize, UReq: ureq, Platform: cfg.Platform,
+		Solver: cfg.Solver,
 	}
 	if cfg.PlanCache {
 		p.PlanCache = plan.NewCache(nil)

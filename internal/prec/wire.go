@@ -1,0 +1,18 @@
+package prec
+
+// Wire maps a precision to the element format actually on the wire: the
+// half-input precisions (FP16, FP16x32) share the binary16 representation,
+// and the truncated-FP32 formats (TF32, BF16x32) travel as full FP32 words
+// — the hardware packs their inputs from 32-bit registers. Both solver
+// backends use this mapping when charging transfers and conversions, so
+// their per-precision byte counters are directly comparable.
+func Wire(p Precision) Precision {
+	switch p {
+	case FP64:
+		return FP64
+	case FP32, TF32:
+		return FP32
+	default:
+		return FP16
+	}
+}
