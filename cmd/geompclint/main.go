@@ -1,38 +1,52 @@
 // Command geompclint is the repo's multichecker: it runs the
-// internal/analysis suite — detercheck (determinism), preccast (precision
-// safety), lockcheck (lock hygiene) and hotalloc (allocation-free hot
-// paths) — over the packages matching the given patterns and exits nonzero
-// on any diagnostic, including misused //geompc:nolint directives.
+// internal/analysis suite — the intraprocedural analyzers detercheck
+// (determinism), preccast (precision safety), lockcheck (lock hygiene) and
+// hotalloc (allocation-free hot paths, now transitive), plus the
+// interprocedural dataflow analyzers deterflow (nondeterminism reaching the
+// deterministic packages), precflow (call chains reaching unaudited
+// precision lowerings) and contractcheck (solver.Backend determinism,
+// DESIGN.md §6i) — over the packages matching the given patterns and exits
+// nonzero on any diagnostic, including misused //geompc:nolint directives.
 //
 // Usage:
 //
 //	go run ./cmd/geompclint ./...          # lint the whole module
 //	go run ./cmd/geompclint -list          # describe the analyzers
+//	go run ./cmd/geompclint -json ./...    # machine-readable findings
+//	go run ./cmd/geompclint -suppressions ./...  # //geompc:nolint inventory
 //	go run ./cmd/geompclint ./internal/runtime/ ./internal/obs/
 //
 // `make lint` and the CI lint job run the ./... form; a clean exit is part
-// of the build contract.
+// of the build contract. The CI job also uploads the -json report as a
+// build artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"geompc/internal/analysis"
+	"geompc/internal/analysis/contractcheck"
 	"geompc/internal/analysis/detercheck"
+	"geompc/internal/analysis/deterflow"
 	"geompc/internal/analysis/hotalloc"
 	"geompc/internal/analysis/lockcheck"
 	"geompc/internal/analysis/preccast"
+	"geompc/internal/analysis/precflow"
 )
 
 // analyzers is the registered suite, in reporting-name order.
 var analyzers = []*analysis.Analyzer{
+	contractcheck.Analyzer,
 	detercheck.Analyzer,
+	deterflow.Analyzer,
 	hotalloc.Analyzer,
 	lockcheck.Analyzer,
 	preccast.Analyzer,
+	precflow.Analyzer,
 }
 
 func main() {
@@ -42,19 +56,39 @@ func main() {
 	}
 }
 
+// jsonDiag is the -json rendering of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the full -json document: findings plus the suppression
+// inventory, so one artifact captures both what fired and what was audited
+// away.
+type jsonReport struct {
+	Packages     int                    `json:"packages"`
+	Findings     []jsonDiag             `json:"findings"`
+	Suppressions []analysis.Suppression `json:"suppressions"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("geompclint", flag.ContinueOnError)
 	fs.SetOutput(out)
 	dir := fs.String("dir", ".", "module `directory` to lint from")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings and suppressions as JSON (exit status still reflects findings)")
+	suppressions := fs.Bool("suppressions", false, "list //geompc:nolint directives with their audit reasons instead of findings")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
 		}
-		fmt.Fprintf(out, "%-12s %s\n", analysis.NolintAnalyzerName,
+		fmt.Fprintf(out, "%-14s %s\n", analysis.NolintAnalyzerName,
 			"reports misused //geompc:nolint directives (unknown analyzer, missing reason, expired)")
 		return nil
 	}
@@ -63,17 +97,70 @@ func run(args []string, out io.Writer) error {
 		patterns = []string{"./..."}
 	}
 
-	pkgs, err := analysis.LoadPackages(*dir, patterns...)
+	prog, err := analysis.LoadProgram(*dir, patterns...)
 	if err != nil {
 		return err
 	}
-	diags := analysis.Run(pkgs, analyzers)
+	diags := analysis.RunProgram(prog, analyzers)
+
+	if *suppressions {
+		return printSuppressions(out, prog, *asJSON)
+	}
+	if *asJSON {
+		report := jsonReport{
+			Packages:     len(prog.Roots),
+			Findings:     []jsonDiag{},
+			Suppressions: prog.Suppressions(),
+		}
+		if report.Suppressions == nil {
+			report.Suppressions = []analysis.Suppression{}
+		}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+		if len(diags) > 0 {
+			return fmt.Errorf("%d issue(s) in %d package(s)", len(diags), len(prog.Roots))
+		}
+		return nil
+	}
+
 	for _, d := range diags {
 		fmt.Fprintln(out, d)
 	}
 	if len(diags) > 0 {
-		return fmt.Errorf("%d issue(s) in %d package(s)", len(diags), len(pkgs))
+		return fmt.Errorf("%d issue(s) in %d package(s)", len(diags), len(prog.Roots))
 	}
-	fmt.Fprintf(out, "geompclint: %d package(s) clean\n", len(pkgs))
+	fmt.Fprintf(out, "geompclint: %d package(s) clean\n", len(prog.Roots))
+	return nil
+}
+
+// printSuppressions renders the //geompc:nolint inventory: every reasoned
+// directive, which analyzer it silences, and whether it was exercised by
+// the run that just completed.
+func printSuppressions(out io.Writer, prog *analysis.Program, asJSON bool) error {
+	sups := prog.Suppressions()
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sups)
+	}
+	active := 0
+	for _, s := range sups {
+		state := "EXPIRED"
+		if s.Active {
+			state = "active"
+			active++
+		}
+		fmt.Fprintf(out, "%s:%d: %-12s %-8s %s\n", s.File, s.Line, s.Analyzer, state, s.Reason)
+	}
+	fmt.Fprintf(out, "geompclint: %d suppression(s), %d active\n", len(sups), active)
 	return nil
 }

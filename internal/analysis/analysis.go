@@ -44,6 +44,11 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
+	// Prepare, when set, runs once per driver invocation before any Run,
+	// with the whole program in hand. Interprocedural analyzers compute
+	// their call-graph summaries here (serially, so summary-level
+	// suppression marking needs no locking); Run then only reports.
+	Prepare func(*Program)
 	// Run inspects one package and reports diagnostics through the pass.
 	Run func(*Pass)
 }
@@ -55,6 +60,9 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Prog is the whole-program view (call graph, summaries). Always set
+	// by the driver; intraprocedural analyzers ignore it.
+	Prog *Program
 
 	diags []Diagnostic
 }

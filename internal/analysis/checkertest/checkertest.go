@@ -58,6 +58,40 @@ func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) 
 	}
 }
 
+// RunDirs type-checks several fixture directories as one mini-program (in
+// order, so later fixtures may import earlier ones by their claimed import
+// path), runs the analyzers over every package through the driver, and
+// asserts the want annotations across all of them. This is how the
+// interprocedural fixtures model cross-package call chains: a taint rooted
+// in one fixture package surfaces as a finding in another.
+func RunDirs(t *testing.T, specs []analysis.DirSpec, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.LoadDirs(specs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags := analysis.Run(pkgs, analyzers)
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		ws, err := parseWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
 // claim marks the first unhit want matching d and reports success.
 func claim(wants []*want, d analysis.Diagnostic) bool {
 	for _, w := range wants {

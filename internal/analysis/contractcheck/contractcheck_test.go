@@ -1,0 +1,25 @@
+package contractcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"geompc/internal/analysis"
+	"geompc/internal/analysis/checkertest"
+	"geompc/internal/analysis/contractcheck"
+)
+
+func fixture(elem ...string) string {
+	return filepath.Join(append([]string{"..", "testdata", "src", "contractcheck"}, elem...)...)
+}
+
+// TestBackendContract loads a fixture solver package declaring Backend and
+// an implementation package: the implementation whose Solve reads the wall
+// clock is flagged at the method declaration, the deterministic one and
+// the non-implementing lookalike are not.
+func TestBackendContract(t *testing.T) {
+	checkertest.RunDirs(t, []analysis.DirSpec{
+		{Dir: fixture("solver"), ImportPath: "geompc/internal/solver"},
+		{Dir: fixture("backends"), ImportPath: "geompc/internal/cgsolve"},
+	}, contractcheck.Analyzer)
+}

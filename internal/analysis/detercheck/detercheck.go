@@ -24,7 +24,6 @@ package detercheck
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"path/filepath"
 	"strings"
@@ -109,123 +108,8 @@ func checkClockCall(pass *analysis.Pass, call *ast.CallExpr) {
 
 // checkMapRange flags nondeterministically ordered map iteration.
 func checkMapRange(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
-	if !analysis.IsMap(pass.Info, rng.X) {
-		return
-	}
-	if orderInsensitiveBody(pass.Info, rng.Body.List) {
-		return
-	}
-	if targets, ok := appendOnlyBody(pass.Info, rng.Body.List); ok && sortedAfter(pass.Info, fn, rng.End(), targets) {
+	if !analysis.MapRangeEscapes(pass.Info, fn.Body, rng) {
 		return
 	}
 	pass.Reportf(rng.Pos(), "range over map %s: iteration order is nondeterministic and can leak into digests/schedules/traces — iterate sorted keys instead", types.ExprString(rng.X))
-}
-
-// orderInsensitiveBody reports whether every statement commutes across
-// iterations: map index writes and deletes (distinct keys per iteration),
-// integer/bool counter updates, and continue. Floating-point accumulation is
-// deliberately not on the list — float addition does not commute bit-exactly.
-func orderInsensitiveBody(info *types.Info, stmts []ast.Stmt) bool {
-	for _, s := range stmts {
-		switch s := s.(type) {
-		case *ast.AssignStmt:
-			if !orderInsensitiveAssign(info, s) {
-				return false
-			}
-		case *ast.IncDecStmt:
-			if !integerKind(analysis.BasicKind(info, s.X)) {
-				return false
-			}
-		case *ast.ExprStmt:
-			call, ok := s.X.(*ast.CallExpr)
-			if !ok || !analysis.IsBuiltinCall(info, call, "delete") {
-				return false
-			}
-		case *ast.BranchStmt:
-			if s.Tok != token.CONTINUE {
-				return false
-			}
-		default:
-			return false
-		}
-	}
-	return true
-}
-
-func orderInsensitiveAssign(info *types.Info, s *ast.AssignStmt) bool {
-	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
-		return false
-	}
-	if _, isIndex := s.Lhs[0].(*ast.IndexExpr); isIndex {
-		// m[k] = v / m[k] += v: one key per iteration, order-free as long as
-		// the indexed container is a map (slice writes at computed indexes
-		// would also be fine, but keep to the common case).
-		return analysis.IsMap(info, s.Lhs[0].(*ast.IndexExpr).X)
-	}
-	switch s.Tok {
-	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
-		return integerKind(analysis.BasicKind(info, s.Lhs[0]))
-	}
-	return false
-}
-
-func integerKind(k types.BasicKind) bool {
-	switch k {
-	case types.Int, types.Int8, types.Int16, types.Int32, types.Int64,
-		types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64, types.Uintptr:
-		return true
-	}
-	return false
-}
-
-// appendOnlyBody reports whether the body only appends to local slices,
-// returning the rendered append targets.
-func appendOnlyBody(info *types.Info, stmts []ast.Stmt) (targets []string, ok bool) {
-	for _, s := range stmts {
-		as, isAssign := s.(*ast.AssignStmt)
-		if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
-			return nil, false
-		}
-		call, isCall := as.Rhs[0].(*ast.CallExpr)
-		if !isCall || !analysis.IsBuiltinCall(info, call, "append") || len(call.Args) == 0 {
-			return nil, false
-		}
-		lhs := types.ExprString(as.Lhs[0])
-		if lhs != types.ExprString(call.Args[0]) {
-			return nil, false
-		}
-		targets = append(targets, lhs)
-	}
-	return targets, len(targets) > 0
-}
-
-// sortedAfter reports whether, after pos, fn calls into package sort or
-// slices with one of the append targets among the arguments — the
-// collect-then-sort idiom that launders map order away.
-func sortedAfter(info *types.Info, fn *ast.FuncDecl, pos token.Pos, targets []string) bool {
-	found := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < pos {
-			return true
-		}
-		pkg, _, ok := analysis.CalleePkgFunc(info, call)
-		if !ok || (pkg != "sort" && pkg != "slices") {
-			return true
-		}
-		for _, arg := range call.Args {
-			a := types.ExprString(arg)
-			for _, t := range targets {
-				if a == t {
-					found = true
-					return false
-				}
-			}
-		}
-		return true
-	})
-	return found
 }

@@ -1,0 +1,169 @@
+// Package deterflow is the interprocedural half of the determinism
+// contract. AST-level detercheck inspects only the bodies of functions in
+// the deterministic packages, so a nondeterminism source hidden one call
+// away — a helper in internal/core that ranges over a map and returns the
+// keys, a utility that reads time.Now — is provably invisible to it. This
+// analyzer closes that gap with a whole-program taint pass:
+//
+//   - Sources (in ANY module package): wall-clock reads (time.Now),
+//     math/rand global-source draws, and map iteration whose order can
+//     escape (the same escape heuristics as detercheck: order-insensitive
+//     bodies and the collect-then-sort idiom are clean). Sites carrying a
+//     reasoned //geompc:nolint for detercheck or deterflow are treated as
+//     audited and do not taint callers. faults.go keeps its detercheck
+//     exemption: the injector owns the repo's one seeded source.
+//
+//   - Sinks: the deterministic packages — the virtual-clock spine
+//     (runtime, sched, comm, cholesky, solver, cg) plus the packages that
+//     render digests, schedules, traces and metrics (obs, plan). Anything
+//     their golden digests consume must be reproducible bit-for-bit.
+//
+// Facts propagate bottom-up over call-graph SCCs, through interface
+// dispatch (every matching method), closures and method values (creating
+// or passing a tainted function value taints the holder — callbacks are
+// how nondeterminism usually sneaks into the engine). A finding is a call
+// or reference *from* a sink package *to* a function outside the sink set
+// whose summary is tainted; sources directly inside sink packages stay
+// detercheck's findings, so the two analyzers never double-report.
+package deterflow
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+
+	"geompc/internal/analysis"
+)
+
+// Name is the analyzer name, usable in //geompc:nolint directives.
+const Name = "deterflow"
+
+// Analyzer is the deterflow instance registered with the driver.
+var Analyzer = &analysis.Analyzer{
+	Name:    Name,
+	Doc:     "flags call chains that carry nondeterminism (wall clock, global rand, map order) into the deterministic packages",
+	Prepare: prepare,
+	Run:     run,
+}
+
+// SinkPkgs are the deterministic packages: detercheck's virtual-clock and
+// digest-order sets, plus plan (frozen schedules and replay).
+var SinkPkgs = map[string]bool{
+	"runtime": true, "sched": true, "comm": true, "cholesky": true,
+	"solver": true, "cg": true, "obs": true, "plan": true,
+}
+
+// FactsKey memoizes the nondeterminism summary; contractcheck shares it.
+const FactsKey = "nondet"
+
+// Facts computes (or returns) the program's nondeterminism summary: for
+// each function, the earliest reason it is not reproducible, or nil.
+func Facts(prog *analysis.Program) map[*analysis.Func]*analysis.Taint {
+	return prog.Flow(analysis.FlowSpec{
+		Key: FactsKey,
+		Direct: func(fn *analysis.Func) *analysis.Taint {
+			return directSource(prog, fn)
+		},
+		Extern: func(fn *analysis.Func, e analysis.ExternEdge) *analysis.Taint {
+			return externSource(prog, fn, e)
+		},
+	})
+}
+
+func prepare(prog *analysis.Program) { Facts(prog) }
+
+// directSource finds the function's first in-body source: an escaping map
+// range. (Clock and rand calls resolve through the call graph's extern
+// edges, not here.)
+func directSource(prog *analysis.Program, fn *analysis.Func) *analysis.Taint {
+	var taint *analysis.Taint
+	analysis.InspectOwn(fn, func(n ast.Node) bool {
+		if taint != nil {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !analysis.MapRangeEscapes(fn.Pkg.Info, fn.Body(), rng) {
+			return true
+		}
+		if prog.SuppressedAt(fn.Pkg.Fset, rng.Pos(), "detercheck", Name) {
+			return true
+		}
+		taint = &analysis.Taint{What: "map iteration order", Pos: rng.Pos(), CallPos: rng.Pos()}
+		return false
+	})
+	return taint
+}
+
+// externSource models body-less callees: the wall clock and the global
+// rand source taint, everything else in the standard library is clean.
+func externSource(prog *analysis.Program, fn *analysis.Func, e analysis.ExternEdge) *analysis.Taint {
+	if filepath.Base(fn.Pkg.Fset.Position(e.Pos).Filename) == "faults.go" {
+		return nil // the injector owns the repo's one seeded source
+	}
+	var what string
+	switch e.PkgPath {
+	case "time":
+		if e.Name == "Now" {
+			what = "time.Now()"
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (rand.New, rand.NewSource, rand.NewPCG, ...) build
+		// seeded sources and are fine; package-level draws use the global
+		// source. Methods on a seeded *rand.Rand (Recv != "") are fine too.
+		if e.Recv == "" && !strings.HasPrefix(e.Name, "New") {
+			what = e.PkgPath + "." + e.Name + " (global source)"
+		}
+	}
+	if what == "" {
+		return nil
+	}
+	if prog.SuppressedAt(fn.Pkg.Fset, e.Pos, "detercheck", Name) {
+		return nil
+	}
+	return &analysis.Taint{What: what, Pos: e.Pos, CallPos: e.Pos}
+}
+
+// run reports, for each function of a sink package, every call or
+// reference that reaches a tainted function outside the sink set.
+func run(pass *analysis.Pass) {
+	if !SinkPkgs[analysis.PkgBase(pass)] {
+		return
+	}
+	facts := Facts(pass.Prog)
+	pkgPath := pass.Pkg.Path()
+	seen := make(map[token.Pos]bool)
+	for _, fn := range pass.Prog.Funcs() {
+		if fn.Pkg.Path != pkgPath {
+			continue
+		}
+		for _, e := range fn.Edges {
+			if seen[e.Pos] {
+				continue
+			}
+			callee := e.Callee
+			if SinkPkgs[filepath.Base(callee.Pkg.Path)] {
+				continue // reported inside the sink set, closer to the root
+			}
+			t := facts[callee]
+			if t == nil {
+				continue
+			}
+			seen[e.Pos] = true
+			verb := "call to"
+			if e.Kind == analysis.EdgeRef {
+				verb = "reference to"
+			}
+			pass.Reportf(e.Pos, "%s %s carries nondeterminism into deterministic package %s (%s → %s) — hoist the source behind a seeded/sorted boundary or suppress the root with //geompc:nolint",
+				verb, callee.Name, analysis.PkgBase(pass), callee.Name, chainFrom(pass.Prog, callee, facts))
+		}
+	}
+}
+
+// chainFrom renders callee's own chain down to the root site.
+func chainFrom(prog *analysis.Program, callee *analysis.Func, facts map[*analysis.Func]*analysis.Taint) string {
+	return prog.Chain(callee, facts)
+}

@@ -1,10 +1,24 @@
 package analysis
 
-// The driver: runs a set of analyzers over loaded packages, applies
+import (
+	"go/token"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// The driver: runs a set of analyzers over a loaded program, applies
 // //geompc:nolint suppression, and turns directive misuse into diagnostics
 // of its own. Suppressions are deliberately strict — a suppression that
 // names no known analyzer, gives no reason, or no longer suppresses
 // anything is each reported, so the directive inventory can never rot.
+//
+// Interprocedural analyzers run in two phases: every Prepare hook first
+// (serial, whole program — call-graph construction and summary dataflow
+// happen here, memoized on the Program), then every (package, analyzer)
+// Run in parallel across packages. Runs only read the memoized summaries,
+// so the parallel phase is race-free, and the final (file, line, column)
+// sort makes the output independent of scheduling.
 
 // NolintAnalyzerName is the pseudo-analyzer name under which the driver
 // reports directive misuse (unknown analyzer, missing reason, expired
@@ -13,35 +27,64 @@ package analysis
 const NolintAnalyzerName = "nolint"
 
 // Run applies every analyzer to every package and returns the surviving
-// diagnostics in stable (file, line, column) order.
+// diagnostics in stable (file, line, column) order. The packages are
+// treated as a self-contained program (fixtures and driver tests).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunProgram(ProgramFromPackages(pkgs), analyzers)
+}
+
+// RunProgram applies every analyzer to the program's root packages.
+func RunProgram(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	prog.indexNolints()
+	for _, a := range analyzers {
+		if a.Prepare != nil {
+			a.Prepare(prog)
+		}
+	}
+
+	perPkg := make([][]Diagnostic, len(prog.Roots))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range prog.Roots {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i] = runPackage(prog, pkg, analyzers, known)
+		}(i, pkg)
+	}
+	wg.Wait()
 
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		var nolints []*Nolint
-		for _, f := range pkg.Files {
-			nolints = append(nolints, parseNolints(pkg.Fset, f)...)
-		}
-
-		var diags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
-			a.Run(pass)
-			diags = append(diags, pass.diags...)
-		}
-
-		for _, d := range diags {
-			if !suppressed(d, nolints, known) {
-				out = append(out, d)
-			}
-		}
-		out = append(out, directiveDiagnostics(pkg, nolints, known)...)
+	for _, ds := range perPkg {
+		out = append(out, ds...)
 	}
 	sortDiagnostics(out)
+	return out
+}
+
+// runPackage runs every analyzer over one package, applies that package's
+// suppressions, and reports its directive misuse.
+func runPackage(prog *Program, pkg *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
+	nolints := prog.pkgNolints[pkg]
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info, Prog: prog}
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if !suppressed(d, nolints, known) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, directiveDiagnostics(pkg, nolints, known)...)
 	return out
 }
 
@@ -85,5 +128,99 @@ func directiveDiagnostics(pkg *Package, nolints []*Nolint, known map[string]bool
 			report(n, "expired //geompc:nolint: no %s diagnostic on this line — delete the directive", n.Analyzer)
 		}
 	}
+	return out
+}
+
+// indexNolints parses every directive in the program once: per package for
+// the driver's suppression filtering, and by (file, line) for the summary
+// engines' root-site suppression checks.
+func (p *Program) indexNolints() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pkgNolints != nil {
+		return
+	}
+	p.pkgNolints = make(map[*Package][]*Nolint, len(p.All))
+	p.nolintIdx = make(map[string]map[int][]*Nolint)
+	for _, pkg := range p.All {
+		var ns []*Nolint
+		for _, f := range pkg.Files {
+			ns = append(ns, parseNolints(pkg.Fset, f)...)
+		}
+		p.pkgNolints[pkg] = ns
+		for _, n := range ns {
+			lines := p.nolintIdx[n.File]
+			if lines == nil {
+				lines = make(map[int][]*Nolint)
+				p.nolintIdx[n.File] = lines
+			}
+			lines[n.Line] = append(lines[n.Line], n)
+		}
+	}
+}
+
+// SuppressedAt reports whether a well-formed directive naming one of the
+// given analyzers covers the source line of pos, and marks it used. The
+// summary engines call this on candidate root sites: a site a human has
+// audited and suppressed must not taint its callers — otherwise every
+// suppression would just move the finding one call up the graph.
+func (p *Program) SuppressedAt(fset *token.FileSet, pos token.Pos, analyzers ...string) bool {
+	p.indexNolints()
+	position := fset.Position(pos)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	hit := false
+	for _, n := range p.nolintIdx[position.Filename][position.Line] {
+		if n.Reason == "" {
+			continue
+		}
+		for _, a := range analyzers {
+			if n.Analyzer == a {
+				n.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// Suppression is one well-formed //geompc:nolint directive, for the
+// `geompclint -suppressions` inventory.
+type Suppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	// Active reports whether the directive suppressed a diagnostic or
+	// sanitized a summary root in the run that preceded the query; an
+	// inactive entry is an expired directive (itself a diagnostic).
+	Active bool `json:"active"`
+}
+
+// Suppressions lists every well-formed directive in the program's root
+// packages in (file, line) order. Call after RunProgram so Active reflects
+// the run.
+func (p *Program) Suppressions() []Suppression {
+	p.indexNolints()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Suppression
+	for _, pkg := range p.Roots {
+		for _, n := range p.pkgNolints[pkg] {
+			if n.Analyzer == "" || n.Reason == "" {
+				continue
+			}
+			out = append(out, Suppression{File: n.File, Line: n.Line, Analyzer: n.Analyzer, Reason: n.Reason, Active: n.used})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
 	return out
 }

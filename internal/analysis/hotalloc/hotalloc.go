@@ -7,10 +7,24 @@
 //
 //   - slice and map composite literals, and &T{} pointer literals
 //   - make and new
-//   - function literals (closures capture and escape)
+//   - function literals and method values (both capture and escape)
 //   - append whose destination is not the slice being appended to — the
 //     self-append `s = append(s, x)` is the amortized-reuse idiom and is
 //     allowed, anything else copies or grows a fresh backing array
+//
+// Allocation-freedom is transitive: a //geompc:hot function calling a
+// helper that allocates is as slow as allocating itself, so the analyzer
+// also computes a whole-program "may allocate" summary (bottom-up over
+// call-graph SCCs, interface calls resolved to every matching method) and
+// flags hot call sites whose callee can allocate — with the call chain
+// down to the offending make/append in the message. Calls to other
+// //geompc:hot functions are exempt: the callee's own hotness polices it.
+// Body-less standard-library callees use a curated intrinsic table (all of
+// fmt, the string builders, sort.Slice, ...); unlisted std functions are
+// assumed allocation-free, which DESIGN.md §6j records as the model's
+// honesty boundary. Allocation sites under a reasoned //geompc:nolint
+// hotalloc are audited (freelist warm-ups, grow-once pools) and do not
+// taint callers.
 //
 // The benchmarks in BENCH_kernels.json catch allocation regressions after
 // the fact; hotalloc catches them in review, and keeps working when a
@@ -18,6 +32,7 @@
 package hotalloc
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -25,69 +40,285 @@ import (
 	"geompc/internal/analysis"
 )
 
+// Name is the analyzer name, usable in //geompc:nolint directives.
+const Name = "hotalloc"
+
 // Analyzer is the hotalloc instance registered with the driver.
 var Analyzer = &analysis.Analyzer{
-	Name: "hotalloc",
-	Doc:  "flags allocating expressions inside functions marked //geompc:hot",
-	Run:  run,
+	Name:    Name,
+	Doc:     "flags allocating expressions and transitively-allocating calls inside functions marked //geompc:hot",
+	Prepare: prepare,
+	Run:     run,
 }
 
-func run(pass *analysis.Pass) {
-	for _, f := range pass.Files {
-		for _, fd := range analysis.HotFuncs(f) {
-			if fd.Body != nil {
-				checkHotFunc(pass, fd)
+// externAllocPkgs are standard-library packages whose every function is
+// modeled as allocating.
+var externAllocPkgs = map[string]bool{"fmt": true}
+
+// externAllocFuncs are individual standard-library functions modeled as
+// allocating.
+var externAllocFuncs = map[string]bool{
+	"errors.New":          true,
+	"sort.Slice":          true,
+	"sort.SliceStable":    true,
+	"slices.Clone":        true,
+	"maps.Clone":          true,
+	"strconv.Itoa":        true,
+	"strconv.Quote":       true,
+	"strconv.FormatInt":   true,
+	"strconv.FormatUint":  true,
+	"strconv.FormatFloat": true,
+	"strings.Join":        true,
+	"strings.Split":       true,
+	"strings.Fields":      true,
+	"strings.Repeat":      true,
+	"strings.Replace":     true,
+	"strings.ReplaceAll":  true,
+	"strings.ToUpper":     true,
+	"strings.ToLower":     true,
+	"strings.TrimFunc":    true,
+	"strings.Map":         true,
+}
+
+// HotSetKey memoizes the set of //geompc:hot functions.
+const hotSetKey = "hotset"
+
+// hotSet returns every Func whose declaration carries //geompc:hot.
+func hotSet(prog *analysis.Program) map[*analysis.Func]bool {
+	return prog.Memo(hotSetKey, func() any {
+		set := make(map[*analysis.Func]bool)
+		decls := make(map[*ast.FuncDecl]bool)
+		for _, pkg := range prog.All {
+			for _, f := range pkg.Files {
+				for _, fd := range analysis.HotFuncs(f) {
+					decls[fd] = true
+				}
 			}
 		}
-	}
+		for _, fn := range prog.Funcs() {
+			if fn.Decl != nil && decls[fn.Decl] {
+				set[fn] = true
+			}
+		}
+		return set
+	}).(map[*analysis.Func]bool)
 }
 
-func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	name := fd.Name.Name
-	// selfAppends maps append CallExprs already vetted as self-appends by
-	// their enclosing assignment, so the expression walk skips them.
+// Facts computes (or returns) the may-allocate summary.
+func Facts(prog *analysis.Program) map[*analysis.Func]*analysis.Taint {
+	hot := hotSet(prog)
+	return prog.Flow(analysis.FlowSpec{
+		Key:       "allocates",
+		CallsOnly: true, // creating a closure is a *direct* site; only executing allocates transitively
+		Direct: func(fn *analysis.Func) *analysis.Taint {
+			return directAlloc(prog, fn)
+		},
+		Extern: func(fn *analysis.Func, e analysis.ExternEdge) *analysis.Taint {
+			what, ok := externAlloc(e)
+			if !ok || prog.SuppressedAt(fn.Pkg.Fset, e.Pos, Name) {
+				return nil
+			}
+			return &analysis.Taint{What: what, Pos: e.Pos, CallPos: e.Pos}
+		},
+		Block: func(fn *analysis.Func, e analysis.Edge) bool {
+			// A hot callee polices its own body: its unsuppressed sites are
+			// findings there, its suppressed ones are audited.
+			return hot[e.Callee]
+		},
+	})
+}
+
+func prepare(prog *analysis.Program) { Facts(prog) }
+
+// externAlloc consults the intrinsic table.
+func externAlloc(e analysis.ExternEdge) (string, bool) {
+	if externAllocPkgs[e.PkgPath] {
+		return e.PkgPath + "." + e.Name, true
+	}
+	if e.Recv == "" && externAllocFuncs[e.PkgPath+"."+e.Name] {
+		return e.PkgPath + "." + e.Name, true
+	}
+	return "", false
+}
+
+// allocSite is one allocating expression in a function's own body.
+type allocSite struct {
+	pos  token.Pos
+	what string // short root description for summaries
+	msg  string // full intraprocedural diagnostic (without function name)
+}
+
+// allocSites walks fn's own body (nested literals excluded — they are
+// their own nodes) and reports each allocating expression in source order.
+// The //geompc:nolint hotalloc check is left to the caller so that the
+// intraprocedural reporter can flow every site through the driver's
+// suppression machinery unconditionally.
+func allocSites(fn *analysis.Func, visit func(allocSite) bool) {
+	info := fn.Pkg.Info
+	// First pass: vet self-appends, and note selectors in call position so
+	// x.M() is not mistaken for the method value x.M (only the latter
+	// allocates its bound closure).
 	selfAppend := make(map[*ast.CallExpr]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	calledSels := make(map[*ast.SelectorExpr]bool)
+	analysis.InspectOwn(fn, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
-			markSelfAppends(pass.Info, n, selfAppend)
+			markSelfAppends(info, n, selfAppend)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				calledSels[sel] = true
+			}
+		}
+		return true
+	})
+
+	stopped := false
+	report := func(s allocSite) bool {
+		if stopped {
+			return false
+		}
+		if !visit(s) {
+			stopped = true
+		}
+		return !stopped
+	}
+	analysis.InspectOwn(fn, func(n ast.Node) bool {
+		if stopped {
+			return false
+		}
+		switch n := n.(type) {
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if cl, ok := n.X.(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "&%s{} allocates in //geompc:hot %s — reuse a freelist entry", litName(pass.Info, cl), name)
+					report(allocSite{n.Pos(), "&" + litName(info, cl) + "{}",
+						fmt.Sprintf("&%s{} allocates", litName(info, cl)) + " in //geompc:hot %s — reuse a freelist entry"})
 					return false // don't double-report the inner literal
 				}
 			}
 		case *ast.CompositeLit:
-			tv, ok := pass.Info.Types[n]
+			tv, ok := info.Types[n]
 			if !ok || tv.Type == nil {
 				return true
 			}
 			switch tv.Type.Underlying().(type) {
 			case *types.Slice:
-				pass.Reportf(n.Pos(), "slice literal allocates in //geompc:hot %s", name)
+				report(allocSite{n.Pos(), "slice literal", "slice literal allocates in //geompc:hot %s"})
 			case *types.Map:
-				pass.Reportf(n.Pos(), "map literal allocates in //geompc:hot %s", name)
+				report(allocSite{n.Pos(), "map literal", "map literal allocates in //geompc:hot %s"})
 			}
-		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "func literal in //geompc:hot %s — closures capture and escape", name)
-			return false
+		case *ast.SelectorExpr:
+			if calledSels[n] {
+				return true
+			}
+			if s, ok := info.Selections[n]; ok && s.Kind() == types.MethodVal {
+				report(allocSite{n.Pos(), "method value " + types.ExprString(n),
+					fmt.Sprintf("method value %s allocates its bound closure", types.ExprString(n)) + " in //geompc:hot %s — bind it once in the cold setup path"})
+			}
 		case *ast.CallExpr:
 			switch {
-			case analysis.IsBuiltinCall(pass.Info, n, "make"):
-				pass.Reportf(n.Pos(), "make allocates in //geompc:hot %s — preallocate in the cold setup path", name)
-			case analysis.IsBuiltinCall(pass.Info, n, "new"):
-				pass.Reportf(n.Pos(), "new allocates in //geompc:hot %s — reuse a freelist entry", name)
-			case analysis.IsBuiltinCall(pass.Info, n, "append") && !selfAppend[n]:
-				pass.Reportf(n.Pos(), "append to a different destination in //geompc:hot %s — only the amortized self-append s = append(s, x) is allocation-stable", name)
+			case analysis.IsBuiltinCall(info, n, "make"):
+				report(allocSite{n.Pos(), "make", "make allocates in //geompc:hot %s — preallocate in the cold setup path"})
+			case analysis.IsBuiltinCall(info, n, "new"):
+				report(allocSite{n.Pos(), "new", "new allocates in //geompc:hot %s — reuse a freelist entry"})
+			case analysis.IsBuiltinCall(info, n, "append") && !selfAppend[n]:
+				report(allocSite{n.Pos(), "growing append", "append to a different destination in //geompc:hot %s — only the amortized self-append s = append(s, x) is allocation-stable"})
 			}
 		}
 		return true
 	})
 }
 
-// markSelfAppends records `x = append(x, ...)` (single assignment, plain =,
-// destination textually identical to the appendee) as the allowed idiom.
+// directAlloc is the summary's Direct hook: the first unsuppressed
+// allocation site, counting closure creation (the literal itself escapes).
+func directAlloc(prog *analysis.Program, fn *analysis.Func) *analysis.Taint {
+	var taint *analysis.Taint
+	allocSites(fn, func(s allocSite) bool {
+		if prog.SuppressedAt(fn.Pkg.Fset, s.pos, Name) {
+			return true
+		}
+		taint = &analysis.Taint{What: s.what, Pos: s.pos, CallPos: s.pos}
+		return false
+	})
+	if taint != nil {
+		return taint
+	}
+	// A function literal value is an allocation at its creation site.
+	body := fn.Body()
+	if body == nil {
+		return nil
+	}
+	for _, e := range fn.Edges {
+		if e.Kind == analysis.EdgeRef && e.Callee.Lit != nil {
+			if prog.SuppressedAt(fn.Pkg.Fset, e.Pos, Name) {
+				continue
+			}
+			return &analysis.Taint{What: "func literal (closure)", Pos: e.Pos, CallPos: e.Pos}
+		}
+	}
+	return nil
+}
+
+func run(pass *analysis.Pass) {
+	hot := hotSet(pass.Prog)
+	facts := Facts(pass.Prog)
+	pkgPath := pass.Pkg.Path()
+	for _, fn := range pass.Prog.Funcs() {
+		if fn.Pkg.Path != pkgPath || !hot[fn] {
+			continue
+		}
+		reportOwnSites(pass, fn)
+		reportTransitive(pass, fn, hot, facts)
+	}
+}
+
+// reportOwnSites is the PR 5 intraprocedural check: every allocating
+// expression written directly inside the hot function.
+func reportOwnSites(pass *analysis.Pass, fn *analysis.Func) {
+	name := fn.Decl.Name.Name
+	allocSites(fn, func(s allocSite) bool {
+		pass.Reportf(s.pos, s.msg, name)
+		return true
+	})
+	// Closure literals created in the hot body.
+	for _, e := range fn.Edges {
+		if e.Kind == analysis.EdgeRef && e.Callee.Lit != nil {
+			pass.Reportf(e.Pos, "func literal in //geompc:hot %s — closures capture and escape", name)
+		}
+	}
+}
+
+// reportTransitive flags calls whose callee may allocate.
+func reportTransitive(pass *analysis.Pass, fn *analysis.Func, hot map[*analysis.Func]bool, facts map[*analysis.Func]*analysis.Taint) {
+	name := fn.Decl.Name.Name
+	seen := make(map[token.Pos]bool)
+	for _, e := range fn.Edges {
+		if e.Kind != analysis.EdgeCall || hot[e.Callee] || seen[e.Pos] {
+			continue
+		}
+		t := facts[e.Callee]
+		if t == nil {
+			continue
+		}
+		seen[e.Pos] = true
+		pass.Reportf(e.Pos, "call to %s allocates (%s) in //geompc:hot %s — make the helper allocation-free, mark it //geompc:hot, or hoist the call",
+			e.Callee.Name, pass.Prog.Chain(e.Callee, facts), name)
+	}
+	for _, e := range fn.Extern {
+		if e.Kind != analysis.EdgeCall || seen[e.Pos] {
+			continue
+		}
+		if what, ok := externAlloc(e); ok {
+			seen[e.Pos] = true
+			pass.Reportf(e.Pos, "call to %s allocates in //geompc:hot %s — format/allocate in the cold path", what, name)
+		}
+	}
+}
+
+// markSelfAppends records `x = append(x, ...)` and the compaction form
+// `x = append(x[:k], ...)` (single assignment, plain =, destination
+// textually identical to the appendee or to its sliced base) as the allowed
+// amortized-reuse idioms: both write into x's existing backing array and
+// grow it at most to steady state.
 func markSelfAppends(info *types.Info, as *ast.AssignStmt, selfAppend map[*ast.CallExpr]bool) {
 	if len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
 		return
@@ -96,7 +327,12 @@ func markSelfAppends(info *types.Info, as *ast.AssignStmt, selfAppend map[*ast.C
 	if !ok || !analysis.IsBuiltinCall(info, call, "append") || len(call.Args) == 0 {
 		return
 	}
-	if types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+	lhs := types.ExprString(as.Lhs[0])
+	appendee := call.Args[0]
+	if sl, ok := appendee.(*ast.SliceExpr); ok && sl.Slice3 == false {
+		appendee = sl.X
+	}
+	if lhs == types.ExprString(appendee) {
 		selfAppend[call] = true
 	}
 }

@@ -21,8 +21,6 @@ package preccast
 
 import (
 	"go/ast"
-	"go/token"
-	"go/types"
 
 	"geompc/internal/analysis"
 )
@@ -60,47 +58,22 @@ func run(pass *analysis.Pass) {
 
 // checkConversion flags float64→float32 and float→uint16 conversions.
 func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
-	target, ok := analysis.IsConversion(pass.Info, call)
-	if !ok || len(call.Args) != 1 {
-		return
-	}
-	arg := call.Args[0]
-	if analysis.IsConstant(pass.Info, arg) {
-		return
-	}
-	tb, ok := target.Underlying().(*types.Basic)
+	desc, ok := analysis.LossyConversion(pass.Info, call)
 	if !ok {
 		return
 	}
-	from := analysis.BasicKind(pass.Info, arg)
-	switch tb.Kind() {
-	case types.Float32:
-		if from == types.Float64 {
-			pass.Reportf(call.Pos(), "lossy float64→float32 conversion outside the audited precision API — use prec.Quantize or an internal/fp16 rounding kernel (the STC/TTC conversion points)")
-		}
-	case types.Uint16:
-		if from == types.Float32 || from == types.Float64 {
-			pass.Reportf(call.Pos(), "float→uint16 conversion outside internal/fp16 — raw FP16/BF16 bit patterns must come from fp16.FromFloat32")
-		}
+	if desc == "float64→float32 conversion" {
+		pass.Reportf(call.Pos(), "lossy float64→float32 conversion outside the audited precision API — use prec.Quantize or an internal/fp16 rounding kernel (the STC/TTC conversion points)")
+		return
 	}
+	pass.Reportf(call.Pos(), "float→uint16 conversion outside internal/fp16 — raw FP16/BF16 bit patterns must come from fp16.FromFloat32")
 }
 
 // checkBitTwiddle flags shift/mask arithmetic applied directly to
 // math.Float32bits results: `bits >> 16` is a literal BF16 truncation,
 // mantissa masks a literal TF32/FP16 round-to-zero.
 func checkBitTwiddle(pass *analysis.Pass, bin *ast.BinaryExpr) {
-	switch bin.Op {
-	case token.SHR, token.AND, token.AND_NOT:
-	default:
-		return
+	if analysis.FloatBitsTwiddle(pass.Info, bin) {
+		pass.Reportf(bin.Pos(), "literal half-precision bit-twiddling on math.Float32bits — use fp16.BF16Round/TF32Round/FromFloat32 so the conversion stays audited")
 	}
-	call, ok := bin.X.(*ast.CallExpr)
-	if !ok {
-		return
-	}
-	pkg, name, ok := analysis.CalleePkgFunc(pass.Info, call)
-	if !ok || pkg != "math" || name != "Float32bits" {
-		return
-	}
-	pass.Reportf(bin.Pos(), "literal half-precision bit-twiddling on math.Float32bits — use fp16.BF16Round/TF32Round/FromFloat32 so the conversion stays audited")
 }

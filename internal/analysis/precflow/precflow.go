@@ -1,0 +1,135 @@
+// Package precflow is the interprocedural half of the precision-safety
+// contract. preccast flags a lossy down-cast where it is written; precflow
+// flags the *call chains* that reach one, so a float32(x) wrapped in a
+// helper — or hidden behind an interface-typed abstraction — is caught at
+// every unaudited entry point into it:
+//
+//   - A lowering site is what preccast flags: a non-constant
+//     float64→float32 or float→uint16 conversion, or shift/mask
+//     bit-twiddling on math.Float32bits. Sites under a reasoned
+//     //geompc:nolint for preccast or precflow are audited and clean.
+//
+//   - The audited conversion API sanitizes: any edge crossing from outside
+//     into internal/fp16, internal/prec or internal/linalg (the paper's
+//     STC/TTC conversion points and their quantizing kernels) stops
+//     propagation — calling prec.Quantize is the *correct* way to lower
+//     precision and never taints the caller.
+//
+// Facts propagate bottom-up over call-graph SCCs through static calls,
+// interface dispatch, closures and method values. A finding is a call or
+// reference, in a package outside the audited set, to a function (also
+// outside it) whose summary reaches a lowering; the root site itself stays
+// preccast's finding, so a fix at the root clears both layers.
+package precflow
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+
+	"geompc/internal/analysis"
+)
+
+// Name is the analyzer name, usable in //geompc:nolint directives.
+const Name = "precflow"
+
+// Analyzer is the precflow instance registered with the driver.
+var Analyzer = &analysis.Analyzer{
+	Name:    Name,
+	Doc:     "flags call chains that reach a lossy precision lowering outside the audited prec/fp16/linalg conversion API",
+	Prepare: prepare,
+	Run:     run,
+}
+
+// AuditedPkgs implement the audited conversion API (fp16, prec) or are its
+// quantizing consumers (the linalg mixed-precision kernels, whose packing
+// loops are the STC conversion points themselves). Same set as preccast.
+var AuditedPkgs = map[string]bool{
+	"fp16": true, "prec": true, "linalg": true,
+}
+
+// Facts computes (or returns) the lowering summary: for each function, the
+// earliest unaudited lowering it can reach, or nil.
+func Facts(prog *analysis.Program) map[*analysis.Func]*analysis.Taint {
+	return prog.Flow(analysis.FlowSpec{
+		Key: "lowering",
+		Direct: func(fn *analysis.Func) *analysis.Taint {
+			return directLowering(prog, fn)
+		},
+		Block: func(fn *analysis.Func, e analysis.Edge) bool {
+			// Crossing into the audited API is the sanctioned conversion
+			// point; inside the audited set everything may flow.
+			return !AuditedPkgs[pkgBaseOf(fn)] && AuditedPkgs[pkgBaseOf(e.Callee)]
+		},
+	})
+}
+
+func prepare(prog *analysis.Program) { Facts(prog) }
+
+func pkgBaseOf(fn *analysis.Func) string { return filepath.Base(fn.Pkg.Path) }
+
+// directLowering finds the function's first lossy site.
+func directLowering(prog *analysis.Program, fn *analysis.Func) *analysis.Taint {
+	var taint *analysis.Taint
+	record := func(pos token.Pos, what string) {
+		if taint != nil {
+			return
+		}
+		if prog.SuppressedAt(fn.Pkg.Fset, pos, "preccast", Name) {
+			return
+		}
+		taint = &analysis.Taint{What: what, Pos: pos, CallPos: pos}
+	}
+	analysis.InspectOwn(fn, func(n ast.Node) bool {
+		if taint != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if desc, ok := analysis.LossyConversion(fn.Pkg.Info, n); ok {
+				record(n.Pos(), desc)
+			}
+		case *ast.BinaryExpr:
+			if analysis.FloatBitsTwiddle(fn.Pkg.Info, n) {
+				record(n.Pos(), "math.Float32bits bit-twiddling")
+			}
+		}
+		return true
+	})
+	return taint
+}
+
+// run reports, for each function outside the audited packages, every call
+// or reference that reaches an unaudited lowering.
+func run(pass *analysis.Pass) {
+	if AuditedPkgs[analysis.PkgBase(pass)] {
+		return
+	}
+	facts := Facts(pass.Prog)
+	pkgPath := pass.Pkg.Path()
+	seen := make(map[token.Pos]bool)
+	for _, fn := range pass.Prog.Funcs() {
+		if fn.Pkg.Path != pkgPath {
+			continue
+		}
+		for _, e := range fn.Edges {
+			if seen[e.Pos] {
+				continue
+			}
+			if AuditedPkgs[pkgBaseOf(e.Callee)] {
+				continue // the sanctioned conversion API
+			}
+			t := facts[e.Callee]
+			if t == nil {
+				continue
+			}
+			seen[e.Pos] = true
+			verb := "call to"
+			if e.Kind == analysis.EdgeRef {
+				verb = "reference to"
+			}
+			pass.Reportf(e.Pos, "%s %s reaches an unaudited %s (%s) — route the lowering through prec.Quantize or an internal/fp16 rounding kernel (the STC/TTC conversion points)",
+				verb, e.Callee.Name, t.What, pass.Prog.Chain(e.Callee, facts))
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Fixture for the whole-program call graph: every resolution shape the
+// interprocedural analyzers depend on, in one package. The tests in
+// program_test.go assert the edges directly rather than through // want
+// annotations — the graph, not a diagnostic, is the contract here.
+package fixture
+
+// Runner is implemented by two concrete types; calls through the interface
+// must resolve to both implementations (class-hierarchy analysis).
+type Runner interface {
+	Run(n int) int
+}
+
+type fast struct{}
+
+func (fast) Run(n int) int { return n }
+
+type slow struct{ bias int }
+
+func (s *slow) Run(n int) int { return n + s.bias }
+
+// Dispatch calls through the interface: edges to fast.Run AND slow.Run.
+func Dispatch(r Runner) int { return r.Run(1) }
+
+// Closures: a named literal, an immediately-invoked one, and a nested one.
+func Closures() int {
+	add := func(a, b int) int { return a + b } // node Closures$0
+	v := func() int {                          // node Closures$1
+		inner := func() int { return 1 } // node Closures$1$0
+		return inner()
+	}()
+	return add(v, 2)
+}
+
+// MethodValue binds a method: a ref edge to slow.Run, not a call edge.
+func MethodValue(s *slow) func(int) int {
+	f := s.Run
+	return f
+}
+
+// Mutual recursion: Even and Odd must land in one SCC.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// Top calls into the SCC from outside: its component must come later in
+// bottom-up order.
+func Top(n int) bool { return Even(n) }

@@ -61,3 +61,31 @@ func (p *pool) preallocated(n int) {
 func (p *pool) cold() []*task {
 	return append([]*task{}, p.free...)
 }
+
+// grow is a cold helper that allocates; it is flagged only at hot call
+// sites (transitive allocation-freedom), never in its own body.
+func (p *pool) grow() {
+	p.items = append(p.items, make([]task, 16)...)
+}
+
+// transitive exercises the interprocedural layer: calls into allocating
+// helpers are flagged with the chain down to the root site, calls to other
+// //geompc:hot functions are exempt (the callee polices itself), and the
+// compaction self-append is the allowed reuse idiom.
+//
+//geompc:hot
+func (p *pool) transitive(t *task) {
+	p.grow() // want `call to runtime.\(pool\).grow allocates \(make at fixture.go:\d+\)`
+	p.put(t) // hot callee polices itself: clean
+	// Compaction into the same backing array: allowed reuse idiom.
+	p.free = append(p.free[:0], p.free[1:]...)
+}
+
+// bindings exercises method-value detection: binding allocates the bound
+// closure, calling through a selector does not.
+//
+//geompc:hot
+func (p *pool) bindings() func() {
+	p.cold()      // want `call to runtime.\(pool\).cold allocates \(growing append at fixture.go:\d+\)`
+	return p.grow // want `method value p.grow allocates its bound closure`
+}

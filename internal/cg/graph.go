@@ -303,6 +303,7 @@ func (g *graph) priority(id int) int64 { return int64(g.total - id) }
 func (g *graph) consumerSpread(buf []int, prodDev int, devs func(visit func(dev int))) []int {
 	g.stamp++
 	prodRank := g.plat.RankOfDevice(prodDev)
+	//geompc:nolint hotalloc visitor callback never escapes devs; Go keeps non-escaping closures off the heap
 	devs(func(dev int) {
 		r := g.plat.RankOfDevice(dev)
 		if r == prodRank {
@@ -321,7 +322,7 @@ func reusePublish(s *runtime.TaskSpec) *runtime.PublishSpec {
 	if p := s.Publish; p != nil {
 		return p
 	}
-	return &runtime.PublishSpec{}
+	return &runtime.PublishSpec{} //geompc:nolint hotalloc first fill of the spec slot; the TaskSpec recycles it on every later emit
 }
 
 // Spec implements runtime.Graph.
@@ -344,6 +345,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Publish = g.scalarPublish(s, s.Device, 0)
 		s.Body = g.dotBody(t, i)
 	case opRed1:
+		//geompc:nolint hotalloc index-mapper callback never escapes specReduce; Go keeps non-escaping closures off the heap
 		g.specReduce(s, id, g.aID(t), func(k int) runtime.DataID { return g.d1ID(t, k) })
 		s.Body = g.red1Body(t)
 	case opUpd:
@@ -372,6 +374,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Publish = g.scalarPublish(s, s.Device, 1)
 		s.Body = g.dot2Body(t, i)
 	case opRed2:
+		//geompc:nolint hotalloc index-mapper callback never escapes specReduce; Go keeps non-escaping closures off the heap
 		g.specReduce(s, id, g.bID(t), func(k int) runtime.DataID { return g.d2ID(t, k) })
 		s.Body = g.red2Body(t)
 	case opPupd:
@@ -387,12 +390,12 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 //geompc:hot
 func (g *graph) specMV(s *runtime.TaskSpec, id, t, i, j int) {
 	a, b, _ := mvTile(i, j)
-	td := g.desc.TileDim
+	td := g.desc // value copy: binding the TileDim method would allocate its closure
 	execFmt := prec.Wire(g.cp.precs[t])
 	s.Kind = hw.KindGemm
 	s.Device = g.deviceOf(a, b)
 	s.Prec = g.cp.precs[t]
-	s.Flops = 2 * float64(td(i)) * float64(td(j))
+	s.Flops = 2 * float64(td.TileDim(i)) * float64(td.TileDim(j))
 	s.Priority = g.priority(id)
 
 	s.Inputs = s.Inputs[:0]
@@ -400,11 +403,11 @@ func (g *graph) specMV(s *runtime.TaskSpec, id, t, i, j int) {
 	tileWire := prec.Wire(g.maps.Storage[a][b])
 	in := runtime.InputSpec{
 		Data:      g.tileID(a, b),
-		WireBytes: int64(td(a)) * int64(td(b)) * int64(tileWire.InputBytes()),
+		WireBytes: int64(td.TileDim(a)) * int64(td.TileDim(b)) * int64(tileWire.InputBytes()),
 		WirePrec:  tileWire,
 	}
 	if tileWire != execFmt {
-		in.ConvertElems = td(a) * td(b)
+		in.ConvertElems = td.TileDim(a) * td.TileDim(b)
 		in.ConvFrom, in.ConvTo = tileWire, execFmt
 	}
 	s.Inputs = append(s.Inputs, in)
@@ -412,11 +415,11 @@ func (g *graph) specMV(s *runtime.TaskSpec, id, t, i, j int) {
 	pw := g.cp.pwire[t]
 	in = runtime.InputSpec{
 		Data:      g.pID(t, j),
-		WireBytes: int64(td(j)) * int64(pw.InputBytes()),
+		WireBytes: int64(td.TileDim(j)) * int64(pw.InputBytes()),
 		WirePrec:  pw,
 	}
 	if pw != execFmt {
-		in.ConvertElems = td(j)
+		in.ConvertElems = td.TileDim(j)
 		in.ConvFrom, in.ConvTo = pw, execFmt
 	}
 	s.Inputs = append(s.Inputs, in)
@@ -462,6 +465,7 @@ func (g *graph) specReduce(s *runtime.TaskSpec, id int, out runtime.DataID, in f
 	}
 	s.Output = runtime.OutputSpec{Data: out, Bytes: 8, Prec: prec.FP64}
 	pub := reusePublish(s)
+	//geompc:nolint hotalloc device-enumerator callback never escapes consumerSpread; Go keeps non-escaping closures off the heap
 	remote := g.consumerSpread(pub.RemoteRanks[:0], s.Device, func(visit func(dev int)) {
 		for k := 0; k < g.nt; k++ {
 			visit(g.segDevice(k))
@@ -489,6 +493,7 @@ func (g *graph) specPupd(s *runtime.TaskSpec, id, t, i int) {
 
 	wire := g.cp.pwire[t+1]
 	pub := reusePublish(s)
+	//geompc:nolint hotalloc device-enumerator callback never escapes consumerSpread; Go keeps non-escaping closures off the heap
 	remote := g.consumerSpread(pub.RemoteRanks[:0], s.Device, func(visit func(dev int)) {
 		for k := 0; k < g.nt; k++ {
 			visit(g.mvDevice(k, i))

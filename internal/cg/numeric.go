@@ -150,6 +150,7 @@ func (g *graph) mvBody(t, i, j int) func() {
 		return nil
 	}
 	ep := g.cp.precs[t]
+	//geompc:nolint hotalloc numeric-mode task bodies capture (t,i,j) by design; pure-DES runs return nil above and stay allocation-free
 	return func() {
 		a, b, trans := mvTile(i, j)
 		tl := st.mat.At(a, b)
@@ -170,6 +171,7 @@ func (g *graph) dotBody(t, i int) func() {
 	if st == nil {
 		return nil
 	}
+	//geompc:nolint hotalloc numeric-mode task bodies are closures by design; pure-DES runs skip them and stay allocation-free
 	return func() { st.d1[i] = dotSeg(st.seg(st.p, i), st.seg(st.y, i)) }
 }
 
@@ -179,6 +181,7 @@ func (g *graph) red1Body(t int) func() {
 		return nil
 	}
 	gt := g.cp.base + t
+	//geompc:nolint hotalloc numeric-mode task bodies are closures by design; pure-DES runs skip them and stay allocation-free
 	return func() {
 		pap := 0.0
 		for _, v := range st.d1 {
@@ -200,6 +203,7 @@ func (g *graph) updBody(t, i int) func() {
 	if st == nil {
 		return nil
 	}
+	//geompc:nolint hotalloc numeric-mode task bodies are closures by design; pure-DES runs skip them and stay allocation-free
 	return func() {
 		x, r, y, p := st.seg(st.x, i), st.seg(st.r, i), st.seg(st.y, i), st.seg(st.p, i)
 		a := st.alpha
@@ -224,6 +228,7 @@ func (g *graph) dot2Body(t, i int) func() {
 	if st == nil {
 		return nil
 	}
+	//geompc:nolint hotalloc numeric-mode task bodies are closures by design; pure-DES runs skip them and stay allocation-free
 	return func() {
 		r, z := st.seg(st.r, i), st.seg(st.z, i)
 		st.d2[2*i] = dotSeg(z, r)
@@ -237,6 +242,7 @@ func (g *graph) red2Body(t int) func() {
 		return nil
 	}
 	gt := g.cp.base + t
+	//geompc:nolint hotalloc numeric-mode task bodies are closures by design; pure-DES runs skip them and stay allocation-free
 	return func() {
 		rhoNew, res2 := 0.0, 0.0
 		for k := 0; k < len(st.d2); k += 2 {
@@ -263,6 +269,7 @@ func (g *graph) pupdBody(t, i int) func() {
 		return nil
 	}
 	wire := g.cp.pwire[t+1]
+	//geompc:nolint hotalloc numeric-mode task bodies are closures by design; pure-DES runs skip them and stay allocation-free
 	return func() {
 		p, z := st.seg(st.p, i), st.seg(st.z, i)
 		b := st.beta

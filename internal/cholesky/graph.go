@@ -128,12 +128,12 @@ func (g *graph) Writers(d runtime.DataID, buf []int) []int {
 		for l := 0; l < i; l++ {
 			buf = append(buf, g.syrk(i, l))
 		}
-		return append(buf, g.potrf(i))
+		return append(buf, g.potrf(i)) //geompc:nolint hotalloc appends into the engine's reused writer buffer; grows only to steady state
 	}
 	for l := 0; l < j; l++ {
 		buf = append(buf, g.gemm(i, j, l))
 	}
-	return append(buf, g.trsm(i, j))
+	return append(buf, g.trsm(i, j)) //geompc:nolint hotalloc appends into the engine's reused writer buffer; grows only to steady state
 }
 
 // NumPredecessors implements runtime.Graph.
@@ -232,6 +232,7 @@ func (g *graph) priority(op, m, n, k int) int64 {
 func (g *graph) consumerSpread(buf []int, prodDev int, tiles func(visit func(i, j int))) []int {
 	g.stamp++
 	prodRank := g.plat.RankOfDevice(prodDev)
+	//geompc:nolint hotalloc visitor callback never escapes tiles; Go keeps non-escaping closures off the heap
 	tiles(func(i, j int) {
 		r := g.plat.RankOfDevice(g.deviceOf(i, j))
 		if r == prodRank {
@@ -251,26 +252,31 @@ func reusePublish(s *runtime.TaskSpec) *runtime.PublishSpec {
 	if p := s.Publish; p != nil {
 		return p
 	}
-	return &runtime.PublishSpec{}
+	return &runtime.PublishSpec{} //geompc:nolint hotalloc first fill of the spec slot; the TaskSpec recycles it on every later emit
 }
+
+// bd is the tile edge length as a float64 flop factor. A method, not a
+// closure inside Spec: the emit path is //geompc:hot and a closure would
+// allocate on every call.
+func (g *graph) bd(x int) float64 { return float64(g.desc.TileDim(x)) }
 
 // Spec implements runtime.Graph.
 func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 	op, m, n, k := g.decode(id)
 	nt := g.nt
-	bd := func(x int) float64 { return float64(g.desc.TileDim(x)) }
 
 	switch op {
 	case opPotrf:
 		s.Kind = hw.KindPotrf
 		s.Device = g.deviceOf(k, k)
 		s.Prec = g.maps.Kernel[k][k]
-		s.Flops = bd(k) * bd(k) * bd(k) / 3
+		s.Flops = g.bd(k) * g.bd(k) * g.bd(k) / 3
 		s.Priority = g.priority(op, k, 0, k)
 		s.Inputs = s.Inputs[:0]
 		s.Output = runtime.OutputSpec{Data: g.dataID(k, k), Bytes: g.storageBytes(k, k), Prec: wireFormat(g.maps.Storage[k][k])}
 		if k < nt-1 {
 			pub := reusePublish(s)
+			//geompc:nolint hotalloc tile-enumerator callback never escapes consumerSpread; Go keeps non-escaping closures off the heap
 			remote := g.consumerSpread(pub.RemoteRanks[:0], s.Device, func(visit func(i, j int)) {
 				for i := k + 1; i < nt; i++ {
 					visit(i, k)
@@ -283,7 +289,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 				RemoteRanks: remote,
 			}
 			if wireFormat(wp) != wireFormat(g.maps.Storage[k][k]) {
-				pub.ConvertElems = int(bd(k) * bd(k))
+				pub.ConvertElems = int(g.bd(k) * g.bd(k))
 				pub.ConvFrom, pub.ConvTo = g.maps.Storage[k][k], wp
 			}
 			s.Publish = pub
@@ -296,12 +302,13 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Kind = hw.KindTrsm
 		s.Device = g.deviceOf(m, k)
 		s.Prec = g.trsmExec(m, k)
-		s.Flops = bd(m) * bd(k) * bd(k)
+		s.Flops = g.bd(m) * g.bd(k) * g.bd(k)
 		s.Priority = g.priority(op, m, 0, k)
 		s.Inputs = s.Inputs[:0]
 		s.Inputs = append(s.Inputs, g.inputSpec(k, k, s.Device, execInputFormat(s.Prec)))
 		s.Output = runtime.OutputSpec{Data: g.dataID(m, k), Bytes: g.storageBytes(m, k), Prec: wireFormat(g.maps.Storage[m][k])}
 		pub := reusePublish(s)
+		//geompc:nolint hotalloc tile-enumerator callback never escapes consumerSpread; Go keeps non-escaping closures off the heap
 		remote := g.consumerSpread(pub.RemoteRanks[:0], s.Device, func(visit func(i, j int)) {
 			visit(m, m) // SYRK
 			for j := k + 1; j < m; j++ {
@@ -318,7 +325,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 			RemoteRanks: remote,
 		}
 		if wireFormat(wp) != wireFormat(g.maps.Storage[m][k]) {
-			pub.ConvertElems = int(bd(m) * bd(k))
+			pub.ConvertElems = int(g.bd(m) * g.bd(k))
 			pub.ConvFrom, pub.ConvTo = g.maps.Storage[m][k], wp
 		}
 		s.Publish = pub
@@ -328,7 +335,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Kind = hw.KindSyrk
 		s.Device = g.deviceOf(m, m)
 		s.Prec = g.maps.Kernel[m][m]
-		s.Flops = bd(m) * bd(m) * bd(k)
+		s.Flops = g.bd(m) * g.bd(m) * g.bd(k)
 		s.Priority = g.priority(op, m, 0, k)
 		s.Inputs = s.Inputs[:0]
 		s.Inputs = append(s.Inputs, g.inputSpec(m, k, s.Device, execInputFormat(s.Prec)))
@@ -340,7 +347,7 @@ func (g *graph) Spec(id int, s *runtime.TaskSpec) {
 		s.Kind = hw.KindGemm
 		s.Device = g.deviceOf(m, n)
 		s.Prec = g.maps.Kernel[m][n]
-		s.Flops = 2 * bd(m) * bd(n) * bd(k)
+		s.Flops = 2 * g.bd(m) * g.bd(n) * g.bd(k)
 		s.Priority = g.priority(op, m, n, k)
 		s.Inputs = s.Inputs[:0]
 		inFmt := execInputFormat(s.Prec)

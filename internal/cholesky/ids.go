@@ -127,5 +127,5 @@ func (s ids) decode(id int) (op, m, n, k int) {
 		m, n, k = s.untriple(id - s.gemmBase)
 		return opGemm, m, n, k
 	}
-	panic(fmt.Sprintf("cholesky: task id %d out of range [0,%d)", id, s.numTasks))
+	panic(fmt.Sprintf("cholesky: task id %d out of range [0,%d)", id, s.numTasks)) //geompc:nolint hotalloc panic rendering; decode is total over sealed graph ids
 }

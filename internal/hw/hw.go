@@ -84,12 +84,16 @@ type GPUSpec struct {
 // SupportedPeak returns the effective peak flop/s for precision p, falling
 // back to the closest supported higher-precision path when the GPU lacks
 // the format (e.g. TF32 GEMMs on V100 execute as FP32).
+// fallbackLadder orders the substitute formats tried when the GPU lacks a
+// requested one: TF32/BF16_32 → FP16_32 → FP32 → FP64. Package-level so the
+// hot KernelTime path ranges over it without materializing a slice.
+var fallbackLadder = [3]prec.Precision{prec.FP16x32, prec.FP32, prec.FP64}
+
 func (g *GPUSpec) SupportedPeak(p prec.Precision) float64 {
 	if v, ok := g.Peak[p]; ok {
 		return v
 	}
-	// Fallback ladder: TF32/BF16_32 → FP16_32 → FP32.
-	for _, q := range []prec.Precision{prec.FP16x32, prec.FP32, prec.FP64} {
+	for _, q := range fallbackLadder {
 		if q.Eps() < p.Eps() {
 			if v, ok := g.Peak[q]; ok {
 				return v

@@ -159,7 +159,7 @@ func replayOps(ops []uint32, g runtime.Graph, spec *runtime.TaskSpec, rp *replay
 		}
 		g.Spec(id, spec)
 		if spec.Body != nil {
-			rp.start(id, spec.Body)
+			rp.start(id, spec.Body) //geompc:nolint hotalloc pool warm-up and per-op join bookkeeping; amortized across the replayed plan
 		}
 	}
 }

@@ -349,6 +349,7 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 	var sink evictSink
 	var stagedBytes int64
 
+	//geompc:nolint hotalloc staging helper captures commit-local tallies; never escapes the commit call
 	stage := func(data DataID, bytes int64, wp prec.Precision, isOutput bool) {
 		stagedBytes += bytes
 		if entry := d.touch(data); entry != nil {
@@ -368,7 +369,7 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 				d.pin(data)
 				return
 			}
-			e.fail(&GraphError{Task: spec.ID, Msg: fmt.Sprintf("input %d not available at rank %d", data, d.rank)})
+			e.fail(&GraphError{Task: spec.ID, Msg: fmt.Sprintf("input %d not available at rank %d", data, d.rank)}) //geompc:nolint hotalloc failure-path error construction; the run aborts here
 			return
 		}
 		start := d.h2d.StartAfter(math.Max(avail, e.now))
@@ -482,8 +483,9 @@ func (e *Engine) commit(d *device, spec *TaskSpec) {
 			if e.workers == nil {
 				e.workers = newWorkerPool(gort.GOMAXPROCS(0))
 			}
-			result = make(chan struct{})
+			result = make(chan struct{}) //geompc:nolint hotalloc per-numeric-task join channel; numeric mode trades allocs for overlap, pure DES never reaches this
 			done := result
+			//geompc:nolint hotalloc numeric-task wrapper closure; same numeric-mode trade as the join channel above
 			e.workers.submit(func() {
 				body()
 				close(done)

@@ -370,7 +370,7 @@ func (sh *desShard) applyFrame() {
 	e := sh.e
 	m0 := sh.inMsgs[sh.inHead]
 	if m0.at < e.now {
-		e.fatalErr = fmt.Errorf("runtime: parallel engine diverged: rank %d received message at t=%g behind local clock t=%g", sh.rank, m0.at, e.now)
+		e.fatalErr = fmt.Errorf("runtime: parallel engine diverged: rank %d received message at t=%g behind local clock t=%g", sh.rank, m0.at, e.now) //geompc:nolint hotalloc divergence is fatal; rendered once at the end of a doomed run
 		return
 	}
 	e.now = m0.at

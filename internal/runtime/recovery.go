@@ -138,7 +138,7 @@ func (e *Engine) reroute(spec *TaskSpec) {
 // errUnrecoverable reports a rank losing its last device: with no peer
 // holding the rank's host memory, its tasks cannot migrate.
 func errUnrecoverable(taskID, rank int) error {
-	return fmt.Errorf("runtime: task %d unrecoverable: rank %d has no surviving device", taskID, rank)
+	return fmt.Errorf("runtime: task %d unrecoverable: rank %d has no surviving device", taskID, rank) //geompc:nolint hotalloc fatal-path error construction; the run is over when this allocates
 }
 
 // killDevice handles a permanent device failure at the current virtual

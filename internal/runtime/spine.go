@@ -231,7 +231,7 @@ func (s *desSpine) noteConsumed(rank int) {
 func (s *desSpine) rankOfDev(dev int32) int { return s.c.e.plat.RankOfDevice(int(dev)) }
 
 func (s *desSpine) diverge(format string, args ...any) bool {
-	s.err = fmt.Errorf("runtime: parallel engine diverged: "+format, args...)
+	s.err = fmt.Errorf("runtime: parallel engine diverged: "+format, args...) //geompc:nolint hotalloc divergence is fatal; rendered once at the end of a doomed run
 	return false
 }
 

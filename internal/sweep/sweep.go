@@ -138,7 +138,7 @@ func (m *merger) add(idx int) {
 			m.err = m.errs[m.next]
 		}
 		if m.err == nil && m.reg != nil {
-			m.reg.Merge(m.shards[m.next])
+			m.reg.Merge(m.shards[m.next]) //geompc:nolint hotalloc one merge per completed run, not per event; copies are the shard-isolation contract
 		}
 		m.shards[m.next] = nil
 		m.next++
